@@ -1,0 +1,139 @@
+//! Acoustic media.
+//!
+//! The paper's theoretical model (§II-A) characterizes each medium by its
+//! density `ρ` and sound speed `c`; their product is the characteristic
+//! acoustic impedance `Z₀ = ρ₀c₀` that governs how much energy reflects at
+//! a boundary. Middle-ear effusion fluids (serous → mucoid → purulent) are
+//! modelled as increasingly dense, viscous water-like media.
+
+use crate::constants;
+
+/// An acoustic medium with the two properties the paper's model needs.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_acoustics::medium::Medium;
+/// let z_air = Medium::AIR.impedance();
+/// assert!((z_air - 1.204 * 343.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Medium {
+    /// Density `ρ` in kg/m³.
+    pub density: f64,
+    /// Speed of sound `c` in m/s.
+    pub speed: f64,
+    /// Dynamic viscosity in Pa·s — drives the frequency-dependent
+    /// absorption strength of effusion fluids.
+    pub viscosity: f64,
+}
+
+impl Medium {
+    /// Air at room temperature.
+    pub const AIR: Medium = Medium {
+        density: constants::DENSITY_AIR,
+        speed: constants::SPEED_OF_SOUND_AIR,
+        viscosity: 1.81e-5,
+    };
+
+    /// Water (reference body-fluid approximation).
+    pub const WATER: Medium = Medium {
+        density: constants::DENSITY_WATER,
+        speed: constants::SPEED_OF_SOUND_WATER,
+        viscosity: 1.0e-3,
+    };
+
+    /// Serous effusion: thin, watery fluid (early-stage / recovering MEE).
+    pub const SEROUS_EFFUSION: Medium = Medium {
+        density: 1_005.0,
+        speed: 1_490.0,
+        viscosity: 1.5e-3,
+    };
+
+    /// Mucoid effusion: thick, glue-like fluid ("glue ear").
+    pub const MUCOID_EFFUSION: Medium = Medium {
+        density: 1_030.0,
+        speed: 1_520.0,
+        viscosity: 8.0e-3,
+    };
+
+    /// Purulent effusion: pus-laden fluid of acute infection.
+    pub const PURULENT_EFFUSION: Medium = Medium {
+        density: 1_045.0,
+        speed: 1_540.0,
+        viscosity: 1.2e-2,
+    };
+
+    /// Creates a medium from density (kg/m³), sound speed (m/s), and
+    /// viscosity (Pa·s).
+    pub const fn new(density: f64, speed: f64, viscosity: f64) -> Self {
+        Medium {
+            density,
+            speed,
+            viscosity,
+        }
+    }
+
+    /// Characteristic acoustic impedance `Z₀ = ρ₀ c₀` in rayl (Pa·s/m) —
+    /// the paper's `Z_0 = ρ_0 c_0`.
+    pub fn impedance(&self) -> f64 {
+        self.density * self.speed
+    }
+
+    /// Wavelength (m) of a wave at `f_hz` in this medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `f_hz <= 0`.
+    pub fn wavelength(&self, f_hz: f64) -> f64 {
+        debug_assert!(f_hz > 0.0);
+        self.speed / f_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn effusion_impedances_order_by_severity() {
+        // Denser, faster media have higher impedance: serous < mucoid < purulent.
+        let s = Medium::SEROUS_EFFUSION.impedance();
+        let m = Medium::MUCOID_EFFUSION.impedance();
+        let p = Medium::PURULENT_EFFUSION.impedance();
+        assert!(s < m && m < p);
+    }
+
+    #[test]
+    fn all_fluids_dwarf_air() {
+        for fluid in [
+            Medium::WATER,
+            Medium::SEROUS_EFFUSION,
+            Medium::MUCOID_EFFUSION,
+            Medium::PURULENT_EFFUSION,
+        ] {
+            assert!(fluid.impedance() > 1_000.0 * Medium::AIR.impedance());
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn viscosity_orders_by_severity() {
+        assert!(Medium::SEROUS_EFFUSION.viscosity < Medium::MUCOID_EFFUSION.viscosity);
+        assert!(Medium::MUCOID_EFFUSION.viscosity < Medium::PURULENT_EFFUSION.viscosity);
+    }
+
+    #[test]
+    fn wavelength_at_18khz_in_air_is_about_19mm() {
+        let lambda = Medium::AIR.wavelength(18_000.0);
+        assert!((lambda - 0.01906).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constructor_stores_fields() {
+        let m = Medium::new(2.0, 3.0, 4.0);
+        assert_eq!(m.impedance(), 6.0);
+        assert_eq!(m.viscosity, 4.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Multipath propagation.
+//!
+//! Inside the ear canal the transmitted chirp reaches the microphone over
+//! several paths: the direct speaker→microphone leak, reflections off the
+//! canal walls, and the eardrum echo (paper Eq. 4–5). Each path contributes
+//! a delayed, attenuated — and for the eardrum, spectrally shaped — copy of
+//! the transmitted signal.
+
+use crate::constants::SPEED_OF_SOUND_AIR;
+use earsonar_dsp::complex::Complex64;
+use earsonar_dsp::fft::{fft, ifft, next_pow2};
+
+/// One propagation path: a delay and a broadband gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Path {
+    /// One-way or round-trip delay in seconds (caller's convention).
+    pub delay_s: f64,
+    /// Amplitude gain (attenuation if `< 1`).
+    pub gain: f64,
+}
+
+impl Path {
+    /// A path with a round-trip to a reflector at `distance_m` metres and
+    /// the given gain.
+    pub fn echo(distance_m: f64, gain: f64) -> Self {
+        Path {
+            delay_s: round_trip_delay(distance_m),
+            gain,
+        }
+    }
+}
+
+/// Round-trip delay in seconds to a reflector at `distance_m` metres in air.
+pub fn round_trip_delay(distance_m: f64) -> f64 {
+    2.0 * distance_m / SPEED_OF_SOUND_AIR
+}
+
+/// Round-trip delay in samples (fractional) at sample rate `fs`.
+pub fn round_trip_delay_samples(distance_m: f64, fs: f64) -> f64 {
+    round_trip_delay(distance_m) * fs
+}
+
+/// Distance (m) corresponding to a round-trip delay of `samples` samples.
+pub fn distance_from_delay_samples(samples: f64, fs: f64) -> f64 {
+    samples / fs * SPEED_OF_SOUND_AIR / 2.0
+}
+
+/// Delays `x` by a fractional number of samples (linear interpolation),
+/// extending the output so no energy is truncated.
+pub fn delay_fractional(x: &[f64], delay_samples: f64, out_len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; out_len];
+    if x.is_empty() || delay_samples < 0.0 {
+        return out;
+    }
+    let int_part = delay_samples.floor() as usize;
+    let frac = delay_samples - int_part as f64;
+    for (i, &v) in x.iter().enumerate() {
+        let j = int_part + i;
+        if j < out_len {
+            out[j] += v * (1.0 - frac);
+        }
+        if frac > 0.0 && j + 1 < out_len {
+            out[j + 1] += v * frac;
+        }
+    }
+    out
+}
+
+/// Delays `x` by a fractional number of samples with an **allpass**
+/// frequency-domain phase shift — unlike [`delay_fractional`]'s linear
+/// interpolation, the magnitude response is exactly flat, which matters
+/// when the delayed signal's in-band spectrum is the measurand.
+pub fn delay_fractional_allpass(x: &[f64], delay_samples: f64, out_len: usize) -> Vec<f64> {
+    if x.is_empty() || delay_samples < 0.0 || out_len == 0 {
+        return vec![0.0; out_len];
+    }
+    let span = x.len() + delay_samples.ceil() as usize + 1;
+    let n = next_pow2(span);
+    let mut buf = vec![Complex64::ZERO; n];
+    for (dst, &src) in buf.iter_mut().zip(x) {
+        *dst = Complex64::from_real(src);
+    }
+    let mut spec = fft(&buf);
+    let half = n / 2;
+    for (k, z) in spec.iter_mut().enumerate() {
+        // Signed bin frequency in cycles/sample.
+        let f = if k <= half {
+            k as f64 / n as f64
+        } else {
+            k as f64 / n as f64 - 1.0
+        };
+        let phase = -2.0 * std::f64::consts::PI * f * delay_samples;
+        if k == half {
+            // The Nyquist bin must stay real for the output to stay real;
+            // the real part of the phase factor is the standard treatment.
+            *z = z.scale(phase.cos());
+        } else {
+            *z *= Complex64::cis(phase);
+        }
+    }
+    let time = ifft(&spec);
+    (0..out_len)
+        .map(|i| if i < time.len() { time[i].re } else { 0.0 })
+        .collect()
+}
+
+/// A set of propagation paths summed at the receiver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultipathChannel {
+    paths: Vec<Path>,
+}
+
+impl MultipathChannel {
+    /// Creates a channel from paths.
+    pub fn new(paths: Vec<Path>) -> Self {
+        MultipathChannel { paths }
+    }
+
+    /// Adds a path.
+    pub fn push(&mut self, path: Path) {
+        self.paths.push(path);
+    }
+
+    /// The paths in this channel.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Applies the channel to `x` at sample rate `fs`. The output is long
+    /// enough to contain the most-delayed copy in full.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use earsonar_acoustics::propagation::{MultipathChannel, Path};
+    /// let ch = MultipathChannel::new(vec![
+    ///     Path { delay_s: 0.0, gain: 1.0 },
+    ///     Path { delay_s: 1.0 / 48_000.0, gain: 0.5 },
+    /// ]);
+    /// let y = ch.apply(&[1.0], 48_000.0);
+    /// assert_eq!(&y[..2], &[1.0, 0.5]);
+    /// ```
+    pub fn apply(&self, x: &[f64], fs: f64) -> Vec<f64> {
+        if x.is_empty() || self.paths.is_empty() {
+            return Vec::new();
+        }
+        let max_delay = self
+            .paths
+            .iter()
+            .map(|p| p.delay_s)
+            .fold(0.0f64, f64::max);
+        let out_len = x.len() + (max_delay * fs).ceil() as usize + 1;
+        let mut acc = vec![0.0; out_len];
+        for p in &self.paths {
+            let delayed = delay_fractional(x, p.delay_s * fs, out_len);
+            for (a, d) in acc.iter_mut().zip(&delayed) {
+                *a += p.gain * d;
+            }
+        }
+        acc
+    }
+}
+
+/// Filters `x` through an arbitrary real frequency response `gain(f_hz)`
+/// via FFT multiplication (zero-phase). Used to imprint the eardrum's
+/// reflectance spectrum onto the echo waveform.
+pub fn apply_frequency_response<F>(x: &[f64], fs: f64, gain: F) -> Vec<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = next_pow2(x.len() * 2);
+    let mut buf = vec![Complex64::ZERO; n];
+    for (dst, &src) in buf.iter_mut().zip(x) {
+        *dst = Complex64::from_real(src);
+    }
+    let mut spec = fft(&buf);
+    let df = fs / n as f64;
+    let half = n / 2;
+    for (k, z) in spec.iter_mut().enumerate() {
+        let f = if k <= half {
+            k as f64 * df
+        } else {
+            (n - k) as f64 * df
+        };
+        *z = z.scale(gain(f));
+    }
+    ifft(&spec)[..x.len()].iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn delay_helpers_are_consistent() {
+        let d = 0.025; // 2.5 cm eardrum distance
+        let s = round_trip_delay_samples(d, 48_000.0);
+        assert!((distance_from_delay_samples(s, 48_000.0) - d).abs() < 1e-12);
+        // 2.5 cm round trip at 343 m/s is ~146 µs, ~7 samples at 48 kHz.
+        assert!((s - 6.997).abs() < 0.01, "{s}");
+    }
+
+    #[test]
+    fn integer_delay_shifts_exactly() {
+        let y = delay_fractional(&[1.0, 2.0], 3.0, 8);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fractional_delay_splits_energy() {
+        let y = delay_fractional(&[1.0], 2.5, 5);
+        assert_eq!(y, vec![0.0, 0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn negative_delay_yields_silence() {
+        let y = delay_fractional(&[1.0], -1.0, 3);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn allpass_delay_preserves_inband_magnitude() {
+        let fs = 48_000.0;
+        let x: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * 18_000.0 * i as f64 / fs).sin())
+            .collect();
+        for d in [0.0, 0.25, 0.5, 0.75, 3.3] {
+            let y = delay_fractional_allpass(&x, d, 512);
+            let mag_x =
+                earsonar_dsp::goertzel::goertzel_magnitude(&x, 18_000.0, fs).unwrap();
+            let mag_y = earsonar_dsp::goertzel::goertzel_magnitude(
+                &y[..256 + d.ceil() as usize],
+                18_000.0,
+                fs,
+            )
+            .unwrap();
+            assert!(
+                (mag_y / mag_x - 1.0).abs() < 0.05,
+                "delay {d}: {mag_y} vs {mag_x}"
+            );
+        }
+    }
+
+    #[test]
+    fn allpass_integer_delay_matches_shift() {
+        let x = [1.0, -2.0, 3.0, 0.5];
+        let y = delay_fractional_allpass(&x, 3.0, 10);
+        for (i, &v) in x.iter().enumerate() {
+            assert!((y[i + 3] - v).abs() < 1e-9, "index {i}");
+        }
+        assert!(y[..3].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn allpass_degenerate_inputs() {
+        assert_eq!(delay_fractional_allpass(&[], 1.0, 4), vec![0.0; 4]);
+        assert_eq!(delay_fractional_allpass(&[1.0], -1.0, 2), vec![0.0; 2]);
+        assert!(delay_fractional_allpass(&[1.0], 0.5, 0).is_empty());
+    }
+
+    #[test]
+    fn channel_superposition() {
+        let ch = MultipathChannel::new(vec![
+            Path {
+                delay_s: 0.0,
+                gain: 1.0,
+            },
+            Path {
+                delay_s: 2.0 / 48_000.0,
+                gain: -0.5,
+            },
+        ]);
+        let y = ch.apply(&[1.0, 1.0], 48_000.0);
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!((y[1] - 1.0).abs() < 1e-12);
+        assert!((y[2] + 0.5).abs() < 1e-12);
+        assert!((y[3] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_channel_or_signal() {
+        let ch = MultipathChannel::default();
+        assert!(ch.apply(&[1.0], 48_000.0).is_empty());
+        let ch2 = MultipathChannel::new(vec![Path {
+            delay_s: 0.0,
+            gain: 1.0,
+        }]);
+        assert!(ch2.apply(&[], 48_000.0).is_empty());
+    }
+
+    #[test]
+    fn echo_path_constructor() {
+        let p = Path::echo(0.03, 0.4);
+        assert!((p.delay_s - 2.0 * 0.03 / SPEED_OF_SOUND_AIR).abs() < 1e-15);
+        assert_eq!(p.gain, 0.4);
+    }
+
+    #[test]
+    fn frequency_response_shapes_tones() {
+        let fs = 48_000.0;
+        let n = 2048;
+        // Two tones; the response kills one of them.
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                (2.0 * PI * 17_000.0 * i as f64 / fs).sin()
+                    + (2.0 * PI * 19_000.0 * i as f64 / fs).sin()
+            })
+            .collect();
+        let y = apply_frequency_response(&x, fs, |f| if f > 18_000.0 { 0.0 } else { 1.0 });
+        let mag17 = earsonar_dsp::goertzel::goertzel_magnitude(&y, 17_000.0, fs).unwrap();
+        let mag19 = earsonar_dsp::goertzel::goertzel_magnitude(&y, 19_000.0, fs).unwrap();
+        assert!(mag17 > 20.0 * mag19, "17k {mag17}, 19k {mag19}");
+    }
+
+    #[test]
+    fn unit_response_is_identity() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = apply_frequency_response(&x, 48_000.0, |_| 1.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_frequency_response_input() {
+        assert!(apply_frequency_response(&[], 48_000.0, |_| 1.0).is_empty());
+    }
+}

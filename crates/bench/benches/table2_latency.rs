@@ -1,0 +1,40 @@
+//! Criterion version of paper Table II: per-stage latency of the EarSonar
+//! pipeline (band-pass filter, feature extraction, inference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use earsonar::preprocess::Preprocessor;
+use earsonar::{EarSonar, EarSonarConfig};
+use earsonar_bench::standard_dataset;
+use earsonar_sim::session::SessionConfig;
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    let cfg = EarSonarConfig::default();
+    let dataset = standard_dataset(6, SessionConfig::default());
+    let system = EarSonar::fit(&dataset.sessions, &cfg).expect("fit");
+    let recording = dataset.sessions[0].recording.clone();
+    let pre = Preprocessor::new(&cfg).expect("preprocessor");
+    let features = system
+        .front_end()
+        .process(&recording)
+        .expect("process")
+        .features;
+
+    let mut group = c.benchmark_group("table2_latency");
+    group.bench_function("bandpass_filter", |b| {
+        b.iter(|| black_box(pre.run(black_box(&recording.samples)).unwrap()))
+    });
+    group.bench_function("feature_extract_full_front_end", |b| {
+        b.iter(|| black_box(system.front_end().process(black_box(&recording)).unwrap()))
+    });
+    group.bench_function("inference", |b| {
+        b.iter(|| black_box(system.detector().predict(black_box(&features)).unwrap()))
+    });
+    group.bench_function("end_to_end_screen", |b| {
+        b.iter(|| black_box(system.screen(black_box(&recording)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

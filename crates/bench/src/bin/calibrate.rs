@@ -1,0 +1,262 @@
+//! Calibration diagnostics: per-state spectral profiles, feature
+//! separability, and small-cohort LOOCV accuracy. Used while tuning the
+//! simulator constants; kept as a maintenance tool.
+
+use earsonar::eval::{loocv, loocv_baseline, ExtractedDataset};
+use earsonar::pipeline::FrontEnd;
+use earsonar::EarSonarConfig;
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+use earsonar_sim::MeeState;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let cfg = EarSonarConfig::default();
+    let cohort = Cohort::generate(n, 7);
+    let data = Dataset::build(&cohort, &DatasetSpec::default());
+    println!("sessions: {} (per-state {:?})", data.len(), data.state_counts());
+
+    // Per-state mean profile.
+    let fe = FrontEnd::new(&cfg).unwrap();
+    let mut profiles: Vec<Vec<f64>> = vec![vec![0.0; cfg.psd_profile_bins]; 4];
+    let mut counts = [0usize; 4];
+    let mut dips: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for s in &data.sessions {
+        if let Ok(p) = fe.process(&s.recording) {
+            let k = s.ground_truth.index();
+            for (acc, &v) in profiles[k].iter_mut().zip(&p.spectrum.profile) {
+                *acc += v;
+            }
+            counts[k] += 1;
+            dips[k].push(p.features[97]); // shape_dip_depth
+        }
+    }
+    for state in MeeState::ALL {
+        let k = state.index();
+        if counts[k] == 0 {
+            continue;
+        }
+        let prof: Vec<f64> = profiles[k].iter().map(|v| v / counts[k] as f64).collect();
+        let mid = &prof[12..20];
+        let mid_mean: f64 = mid.iter().sum::<f64>() / mid.len() as f64;
+        let dip_mean: f64 = dips[k].iter().sum::<f64>() / dips[k].len() as f64;
+        let dip_sd: f64 = (dips[k].iter().map(|d| (d - dip_mean).powi(2)).sum::<f64>()
+            / dips[k].len() as f64)
+            .sqrt();
+        println!(
+            "{:9} n={:3} mid-band={:.3} dip_feat={:.3}±{:.3} profile[8..24:2]={:?}",
+            state.label(),
+            counts[k],
+            mid_mean,
+            dip_mean,
+            dip_sd,
+            prof[8..24]
+                .iter()
+                .step_by(2)
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    let ex = ExtractedDataset::extract(&data.sessions, &cfg).unwrap();
+    println!("extracted {} (dropped {})", ex.len(), ex.dropped);
+
+    // Per-feature ANOVA F-statistics: state vs patient identity.
+    let names = earsonar::features::FeatureExtractor::feature_names();
+    let f_stat = |group_of: &dyn Fn(usize) -> usize, n_groups: usize, d: usize| -> f64 {
+        let vals: Vec<f64> = ex.features.iter().map(|f| f[d]).collect();
+        let overall = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mut gsum = vec![0.0; n_groups];
+        let mut gcnt = vec![0usize; n_groups];
+        for (i, &v) in vals.iter().enumerate() {
+            gsum[group_of(i)] += v;
+            gcnt[group_of(i)] += 1;
+        }
+        let mut between = 0.0;
+        let mut within = 0.0;
+        for g in 0..n_groups {
+            if gcnt[g] == 0 {
+                continue;
+            }
+            let gm = gsum[g] / gcnt[g] as f64;
+            between += gcnt[g] as f64 * (gm - overall) * (gm - overall);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            let g = group_of(i);
+            let gm = gsum[g] / gcnt[g] as f64;
+            within += (v - gm) * (v - gm);
+        }
+        if within <= 1e-30 {
+            0.0
+        } else {
+            (between / (n_groups.max(2) - 1) as f64)
+                / (within / (vals.len() - n_groups).max(1) as f64)
+        }
+    };
+    let labels = ex.labels.clone();
+    let groups = ex.groups.clone();
+    let n_pat = groups.iter().copied().max().unwrap_or(0) + 1;
+    let mut ranked: Vec<(usize, f64, f64)> = (0..names.len())
+        .map(|d| {
+            let fs = f_stat(&|i: usize| labels[i].index(), 4, d);
+            let fp = f_stat(&|i: usize| groups[i], n_pat, d);
+            (d, fs, fp)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top state-discriminative features (F_state, F_patient):");
+    for &(d, fs, fp) in ranked.iter().take(12) {
+        println!("  {:24} F_state={:8.1} F_patient={:8.1}", names[d], fs, fp);
+    }
+    // What did Laplacian select?
+    use earsonar_ml::laplacian::{select_top_features_decorrelated, LaplacianConfig};
+    use earsonar_ml::scaler::StandardScaler;
+    let (_, scaled) = StandardScaler::fit_transform(&ex.features).unwrap();
+    let sel = select_top_features_decorrelated(
+        &scaled,
+        cfg.top_features,
+        0.95,
+        &LaplacianConfig {
+            k_neighbors: cfg.laplacian_neighbors,
+            bandwidth: None,
+        },
+    )
+    .unwrap();
+    let mean_fstate: f64 =
+        sel.iter().map(|&d| ranked.iter().find(|r| r.0 == d).unwrap().1).sum::<f64>()
+            / sel.len() as f64;
+    println!(
+        "laplacian selected (mean F_state {:.1}): {:?}",
+        mean_fstate,
+        sel.iter().map(|&d| names[d].clone()).collect::<Vec<_>>()
+    );
+    // Variance decomposition of the single best feature: does the noise
+    // live between patients or between visits?
+    {
+        let d = 52 + 16; // psd_profile_16: the dip-centre bin
+        println!("variance decomposition of {}:", names[d]);
+        for state in MeeState::ALL {
+            let mut per_patient: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
+            for (i, f) in ex.features.iter().enumerate() {
+                if ex.labels[i] == state {
+                    per_patient.entry(ex.groups[i]).or_default().push(f[d]);
+                }
+            }
+            let pat_means: Vec<f64> = per_patient
+                .values()
+                .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+                .collect();
+            let overall = pat_means.iter().sum::<f64>() / pat_means.len().max(1) as f64;
+            let between = (pat_means.iter().map(|m| (m - overall).powi(2)).sum::<f64>()
+                / pat_means.len().max(1) as f64)
+                .sqrt();
+            let within = {
+                let mut acc = 0.0;
+                let mut cnt = 0usize;
+                for v in per_patient.values() {
+                    let m = v.iter().sum::<f64>() / v.len() as f64;
+                    for x in v {
+                        acc += (x - m) * (x - m);
+                        cnt += 1;
+                    }
+                }
+                (acc / cnt.max(1) as f64).sqrt()
+            };
+            println!(
+                "  {:9} mean={:8.4} between-patient σ={:7.4} within-patient σ={:7.4}",
+                state.label(),
+                overall,
+                between,
+                within
+            );
+        }
+    }
+
+    // Oracle: LOOCV over the top-F_state features to separate "selection
+    // problem" from "signal problem".
+    {
+        use earsonar_ml::crossval::leave_one_group_out;
+        use earsonar_ml::kmeans::{KMeans, KMeansConfig};
+        use earsonar_ml::labeling::ClusterLabeling;
+        use earsonar_ml::metrics::ClassificationReport;
+        let oracle_dims: Vec<usize> = ranked.iter().take(10).map(|r| r.0).collect();
+        let proj: Vec<Vec<f64>> = scaled
+            .iter()
+            .map(|r| oracle_dims.iter().map(|&d| r[d]).collect())
+            .collect();
+        let splits = leave_one_group_out(&ex.groups).unwrap();
+        let mut actual = Vec::new();
+        let mut predicted = Vec::new();
+        for sp in splits {
+            let tx: Vec<Vec<f64>> = sp.train.iter().map(|&i| proj[i].clone()).collect();
+            let ty: Vec<usize> = sp.train.iter().map(|&i| ex.labels[i].index()).collect();
+            let km = KMeans::fit(
+                &tx,
+                &KMeansConfig {
+                    k: 4,
+                    n_init: 6,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let lab = ClusterLabeling::fit(km.labels(), &ty, 4, 4).unwrap();
+            for &i in &sp.test {
+                actual.push(ex.labels[i].index());
+                predicted.push(lab.class_of(km.predict(&proj[i])));
+            }
+        }
+        let r = ClassificationReport::from_labels(&actual, &predicted, 4).unwrap();
+        println!("ORACLE top-10-F kmeans LOOCV accuracy: {:.3}", r.accuracy);
+
+        // Supervised nearest-class-centroid on the same dims: the ceiling
+        // a distance-based classifier could reach.
+        let mut actual2 = Vec::new();
+        let mut predicted2 = Vec::new();
+        for sp in leave_one_group_out(&ex.groups).unwrap() {
+            let mut sums = vec![vec![0.0; oracle_dims.len()]; 4];
+            let mut cnts = vec![0usize; 4];
+            for &i in &sp.train {
+                let k = ex.labels[i].index();
+                for (a, &v) in sums[k].iter_mut().zip(&proj[i]) {
+                    *a += v;
+                }
+                cnts[k] += 1;
+            }
+            let cents: Vec<Vec<f64>> = sums
+                .iter()
+                .zip(&cnts)
+                .map(|(s, &c)| s.iter().map(|v| v / c.max(1) as f64).collect())
+                .collect();
+            for &i in &sp.test {
+                let best = (0..4)
+                    .min_by(|&a, &b| {
+                        let da: f64 = cents[a].iter().zip(&proj[i]).map(|(x, y)| (x - y) * (x - y)).sum();
+                        let db: f64 = cents[b].iter().zip(&proj[i]).map(|(x, y)| (x - y) * (x - y)).sum();
+                        da.total_cmp(&db)
+                    })
+                    .unwrap();
+                actual2.push(ex.labels[i].index());
+                predicted2.push(best);
+            }
+        }
+        let r2 = ClassificationReport::from_labels(&actual2, &predicted2, 4).unwrap();
+        println!("ORACLE supervised-centroid LOOCV accuracy: {:.3}", r2.accuracy);
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = loocv(&ex, &cfg).unwrap();
+    println!(
+        "EarSonar LOOCV accuracy: {:.3} (in {:.1}s)",
+        report.accuracy,
+        t0.elapsed().as_secs_f64()
+    );
+    println!("confusion: {:?}", report.confusion.normalized());
+
+    let exb = ExtractedDataset::extract_baseline(&data.sessions, &cfg).unwrap();
+    let rb = loocv_baseline(&exb, &cfg).unwrap();
+    println!("Baseline LOOCV accuracy: {:.3}", rb.accuracy);
+}

@@ -1,0 +1,157 @@
+//! Confound isolation: which patient-level variable destroys state
+//! separability? Build sessions with all patient variables frozen, then
+//! unfreeze one at a time and watch the best feature's between-patient σ.
+
+use earsonar::pipeline::FrontEnd;
+use earsonar::EarSonarConfig;
+use earsonar_sim::ear::EarCanal;
+use earsonar_sim::recorder::{synthesize_recording, RecorderConfig};
+use earsonar_sim::rng::SimRng;
+use earsonar_sim::MeeState;
+
+#[derive(Clone, Copy)]
+struct Unfreeze {
+    distance: bool,
+    gains: bool,
+    walls: bool,
+    dip_center: bool,
+}
+
+fn main() {
+    let cfg = EarSonarConfig::default();
+    let fe = FrontEnd::new(&cfg).unwrap();
+    let scenarios: [(&str, Unfreeze); 6] = [
+        (
+            "all frozen",
+            Unfreeze {
+                distance: false,
+                gains: false,
+                walls: false,
+                dip_center: false,
+            },
+        ),
+        (
+            "+distance",
+            Unfreeze {
+                distance: true,
+                gains: false,
+                walls: false,
+                dip_center: false,
+            },
+        ),
+        (
+            "+gains",
+            Unfreeze {
+                distance: false,
+                gains: true,
+                walls: false,
+                dip_center: false,
+            },
+        ),
+        (
+            "+walls",
+            Unfreeze {
+                distance: false,
+                gains: false,
+                walls: true,
+                dip_center: false,
+            },
+        ),
+        (
+            "+dip_center",
+            Unfreeze {
+                distance: false,
+                gains: false,
+                walls: false,
+                dip_center: true,
+            },
+        ),
+        (
+            "all free",
+            Unfreeze {
+                distance: true,
+                gains: true,
+                walls: true,
+                dip_center: true,
+            },
+        ),
+    ];
+
+    for (name, un) in scenarios {
+        // Per state: 12 patients x 2 visits; report best-bin stats.
+        let mut state_means = Vec::new();
+        let mut state_bsigma = Vec::new();
+        for state in MeeState::ALL {
+            let mut pat_means = Vec::new();
+            for pid in 0..12u64 {
+                let mut prng = SimRng::seed_from_u64(1000 + pid);
+                let ear = EarCanal {
+                    eardrum_distance_m: if un.distance {
+                        prng.gaussian_clamped(0.026, 0.003, 0.020, 0.035)
+                    } else {
+                        0.026
+                    },
+                    radius_m: 0.003,
+                    eardrum_path_gain: if un.gains {
+                        prng.gaussian_clamped(0.50, 0.02, 0.42, 0.58)
+                    } else {
+                        0.50
+                    },
+                    wall_paths: if un.walls {
+                        (0..2)
+                            .map(|_| {
+                                let frac = prng.uniform(0.20, 0.45);
+                                ((0.026f64 * frac).min(0.014), prng.gaussian_clamped(0.02, 0.008, 0.005, 0.045))
+                            })
+                            .collect()
+                    } else {
+                        vec![(0.008, 0.02), (0.011, 0.015)]
+                    },
+                    direct_gain: if un.gains {
+                        prng.gaussian_clamped(0.06, 0.01, 0.03, 0.09)
+                    } else {
+                        0.06
+                    },
+                };
+                let dip_center = if un.dip_center {
+                    prng.gaussian_clamped(18_000.0, 180.0, 17_300.0, 18_700.0)
+                } else {
+                    18_000.0
+                };
+                let mut vals = Vec::new();
+                for visit in 0..2u64 {
+                    let mut vrng = SimRng::seed_from_u64(9_000 + pid * 31 + visit);
+                    let resp = state.sample_response(dip_center, &mut vrng);
+                    let rec = synthesize_recording(&ear, &resp, &RecorderConfig::default(), &mut vrng);
+                    if let Ok(p) = fe.process(&rec) {
+                        // best feature family: mid-band profile bins 14..20 mean
+                        let mid: f64 =
+                            p.features[52 + 14..52 + 20].iter().sum::<f64>() / 6.0;
+                        vals.push(mid);
+                    }
+                }
+                if !vals.is_empty() {
+                    pat_means.push(vals.iter().sum::<f64>() / vals.len() as f64);
+                }
+            }
+            let m = pat_means.iter().sum::<f64>() / pat_means.len() as f64;
+            let sd = (pat_means.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+                / pat_means.len() as f64)
+                .sqrt();
+            state_means.push(m);
+            state_bsigma.push(sd);
+        }
+        println!(
+            "{:12} means=[{:.4} {:.4} {:.4} {:.4}] bσ=[{:.4} {:.4} {:.4} {:.4}]",
+            name,
+            state_means[0],
+            state_means[1],
+            state_means[2],
+            state_means[3],
+            state_bsigma[0],
+            state_bsigma[1],
+            state_bsigma[2],
+            state_bsigma[3]
+        );
+    }
+}

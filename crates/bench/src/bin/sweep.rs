@@ -1,0 +1,69 @@
+//! Hyperparameter sweep over detector knobs (maintenance tool).
+
+use earsonar::eval::{loocv, ExtractedDataset};
+use earsonar::EarSonarConfig;
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    let base = EarSonarConfig::default();
+    let cohort = Cohort::generate(n, 7);
+    let data = Dataset::build(&cohort, &DatasetSpec::default());
+    let ex = ExtractedDataset::extract(&data.sessions, &base).unwrap();
+    println!("sessions {} dropped {}", ex.len(), ex.dropped);
+
+    let variants: Vec<(String, EarSonarConfig)> = vec![
+        ("base".into(), base.clone()),
+        (
+            "top15".into(),
+            EarSonarConfig {
+                top_features: 15,
+                ..base.clone()
+            },
+        ),
+        (
+            "top35".into(),
+            EarSonarConfig {
+                top_features: 35,
+                ..base.clone()
+            },
+        ),
+        (
+            "knn15".into(),
+            EarSonarConfig {
+                laplacian_neighbors: 15,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-outlier".into(),
+            EarSonarConfig {
+                remove_outliers: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "top15-knn15".into(),
+            EarSonarConfig {
+                top_features: 15,
+                laplacian_neighbors: 15,
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let r = loocv(&ex, &cfg).unwrap();
+        println!(
+            "{:14} acc={:.3} medP={:.3} medR={:.3} medF1={:.3}",
+            name,
+            r.accuracy,
+            r.median_precision(),
+            r.median_recall(),
+            r.median_f1()
+        );
+    }
+}

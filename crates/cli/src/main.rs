@@ -1,0 +1,290 @@
+//! `earsonar` — the command-line face of the reproduction.
+//!
+//! ```text
+//! earsonar simulate --patients 4 --seed 7 --out ./sessions
+//! earsonar train    --patients 24 --seed 7 --model earsonar.model
+//! earsonar screen   --model earsonar.model ./sessions/*.wav
+//! earsonar eval     --patients 32 --seed 7
+//! ```
+//!
+//! `simulate` writes each session as a float32 WAV plus a `manifest.tsv`
+//! with ground truth; `screen` reads WAVs back through the full pipeline.
+
+use earsonar::eval::{loocv, ExtractedDataset};
+use earsonar::model_io::{load_model, save_model};
+use earsonar::report::{pct, Table};
+use earsonar::{EarSonar, EarSonarConfig, MeeState};
+use earsonar_dsp::wav::{read_wav, write_wav, WavAudio, WavFormat};
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+use earsonar_sim::recorder::Recording;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+earsonar — acoustic middle-ear-effusion screening (EarSonar reproduction)
+
+USAGE:
+  earsonar simulate [--patients N] [--seed S] --out DIR
+      Simulate a cohort's sessions as float32 WAV files + manifest.tsv.
+  earsonar train    [--patients N] [--seed S] --model FILE
+      Train the pipeline on a simulated cohort and save the model.
+  earsonar screen   --model FILE WAV [WAV...]
+      Screen one or more recordings with a trained model.
+  earsonar eval     [--patients N] [--seed S]
+      Leave-one-participant-out evaluation on a simulated cohort.
+  earsonar inspect  --model FILE WAV [WAV...]
+      Show what the pipeline sees inside recordings (IR, spectrum, dip).
+
+Defaults: --patients 16, --seed 7.";
+
+struct Args {
+    patients: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    model: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _bin = argv.next();
+    let command = argv.next().ok_or_else(|| USAGE.to_string())?;
+    let mut args = Args {
+        patients: 16,
+        seed: 7,
+        out: None,
+        model: None,
+        files: Vec::new(),
+    };
+    let mut rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--patients" => {
+                i += 1;
+                args.patients = rest
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--patients needs a number")?;
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = rest
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--out" => {
+                i += 1;
+                args.out = Some(PathBuf::from(
+                    rest.get(i).ok_or("--out needs a directory")?,
+                ));
+            }
+            "--model" => {
+                i += 1;
+                args.model = Some(PathBuf::from(rest.get(i).ok_or("--model needs a path")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n\n{USAGE}"));
+            }
+            _ => {
+                args.files.push(PathBuf::from(rest.remove(i)));
+                // `remove` shifted the next element into position i.
+                continue;
+            }
+        }
+        i += 1;
+    }
+    Ok((command, args))
+}
+
+fn build_dataset(patients: usize, seed: u64) -> Dataset {
+    Dataset::build(
+        &Cohort::generate(patients, seed),
+        &DatasetSpec {
+            sessions_per_state: 2,
+            config: Default::default(),
+            seed,
+        },
+    )
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let out = args.out.as_ref().ok_or("simulate requires --out DIR")?;
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+    let data = build_dataset(args.patients, args.seed);
+    let mut manifest = String::from("file\tpatient\tday\tstate\n");
+    for (i, s) in data.sessions.iter().enumerate() {
+        let name = format!(
+            "session_{:04}_p{:03}_d{:02}_{}.wav",
+            i,
+            s.patient_id,
+            s.day,
+            s.ground_truth.label().to_lowercase()
+        );
+        let path = out.join(&name);
+        write_wav(
+            &path,
+            &WavAudio {
+                samples: s.recording.samples.clone(),
+                sample_rate: s.recording.sample_rate as u32,
+            },
+            WavFormat::Float32,
+        )
+        .map_err(|e| format!("writing {path:?}: {e}"))?;
+        manifest.push_str(&format!(
+            "{name}\t{}\t{}\t{}\n",
+            s.patient_id,
+            s.day,
+            s.ground_truth.label()
+        ));
+    }
+    std::fs::write(out.join("manifest.tsv"), manifest)
+        .map_err(|e| format!("writing manifest: {e}"))?;
+    println!(
+        "wrote {} sessions for {} patients to {}",
+        data.sessions.len(),
+        args.patients,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_ref().ok_or("train requires --model FILE")?;
+    let data = build_dataset(args.patients, args.seed);
+    eprintln!(
+        "training on {} sessions from {} patients…",
+        data.sessions.len(),
+        args.patients
+    );
+    let system = EarSonar::fit(&data.sessions, &EarSonarConfig::default())
+        .map_err(|e| format!("training failed: {e}"))?;
+    save_model(model_path, &system).map_err(|e| format!("saving model: {e}"))?;
+    println!("model saved to {}", model_path.display());
+    Ok(())
+}
+
+/// Wraps raw WAV samples as a pipeline recording, inferring the chirp grid
+/// from the configuration.
+fn recording_from_wav(path: &Path, config: &EarSonarConfig) -> Result<Recording, String> {
+    let audio = read_wav(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    if (audio.sample_rate as f64 - config.sample_rate).abs() > 1.0 {
+        return Err(format!(
+            "{path:?}: sample rate {} does not match the model's {}",
+            audio.sample_rate, config.sample_rate
+        ));
+    }
+    let hop = config.chirp_hop;
+    let n_chirps = audio.samples.len() / hop;
+    if n_chirps == 0 {
+        return Err(format!("{path:?}: shorter than one chirp interval"));
+    }
+    let mut samples = audio.samples;
+    samples.truncate(n_chirps * hop);
+    Ok(Recording {
+        samples,
+        sample_rate: config.sample_rate,
+        chirp_hop: hop,
+        n_chirps,
+        chirp_len: config.chirp_len,
+    })
+}
+
+fn cmd_screen(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_ref().ok_or("screen requires --model FILE")?;
+    if args.files.is_empty() {
+        return Err("screen requires at least one WAV file".into());
+    }
+    let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
+    let config = system.front_end().config().clone();
+    for file in &args.files {
+        match recording_from_wav(file, &config)
+            .and_then(|rec| system.screen(&rec).map_err(|e| e.to_string()))
+        {
+            Ok(state) => {
+                let verdict = if state == MeeState::Clear {
+                    "clear".to_string()
+                } else {
+                    format!("EFFUSION ({state})")
+                };
+                println!("{}\t{verdict}", file.display());
+            }
+            Err(e) => println!("{}\terror: {e}", file.display()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let model_path = args.model.as_ref().ok_or("inspect requires --model FILE")?;
+    if args.files.is_empty() {
+        return Err("inspect requires at least one WAV file".into());
+    }
+    let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
+    let config = system.front_end().config().clone();
+    for file in &args.files {
+        println!("== {}", file.display());
+        match recording_from_wav(file, &config).and_then(|rec| {
+            earsonar::diagnostics::inspect_recording(system.front_end(), &rec)
+                .map_err(|e| e.to_string())
+        }) {
+            Ok(report) => print!("{report}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let cfg = EarSonarConfig::default();
+    let data = build_dataset(args.patients, args.seed);
+    eprintln!(
+        "evaluating LOOCV over {} patients ({} sessions)…",
+        args.patients,
+        data.sessions.len()
+    );
+    let ex = ExtractedDataset::extract(&data.sessions, &cfg)
+        .map_err(|e| format!("feature extraction: {e}"))?;
+    let report = loocv(&ex, &cfg).map_err(|e| format!("evaluation: {e}"))?;
+    let mut t = Table::new("per-state performance");
+    t.header(["state", "precision", "recall", "F1"]);
+    for s in MeeState::ALL {
+        let k = s.index();
+        t.row([
+            s.label().to_string(),
+            pct(report.precision[k]),
+            pct(report.recall[k]),
+            pct(report.f1[k]),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("overall accuracy: {}", pct(report.accuracy));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (command, args) = match parse_args(std::env::args()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "screen" => cmd_screen(&args),
+        "eval" => cmd_eval(&args),
+        "inspect" => cmd_inspect(&args),
+        _ => Err(format!("unknown command `{command}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Channel impulse-response estimation.
+//!
+//! The FMCW design exists precisely because the transmitted chirp is known:
+//! deconvolving it out of the received window yields the ear canal's
+//! impulse response (IR), in which the direct leak, wall reflections, and
+//! eardrum echo appear as separate taps ordered by delay — the compressed
+//! form the paper's Fig. 8(b) shows. All later stages (parity
+//! segmentation, absorption analysis) run on the IR: unlike raw-window
+//! spectra, IR-domain energy does not depend on where exactly the echo sits
+//! inside the analysis window, so eardrum-distance differences between
+//! patients stop polluting the absorption features.
+
+use crate::config::EarSonarConfig;
+use crate::error::EarSonarError;
+use earsonar_dsp::complex::Complex64;
+use earsonar_dsp::fft::{fft, ifft, next_pow2};
+
+/// A prepared Wiener deconvolution operator for a fixed chirp template and
+/// window length.
+#[derive(Debug, Clone)]
+pub struct ChannelEstimator {
+    /// `conj(T) / (|T|^2 + eps)` per FFT bin.
+    inverse: Vec<Complex64>,
+    n_fft: usize,
+    n_taps: usize,
+}
+
+impl ChannelEstimator {
+    /// Builds the estimator from the (preprocessed) transmit template.
+    ///
+    /// `window_len` is the chirp-window length the estimator will see;
+    /// `n_taps` is how many IR taps to return. `regularization` is the
+    /// Wiener epsilon relative to the template's peak spectral power
+    /// (e.g. `1e-3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadConfig`] for an empty template,
+    /// non-positive regularization, or `n_taps` exceeding the window.
+    pub fn new(
+        template: &[f64],
+        window_len: usize,
+        n_taps: usize,
+        regularization: f64,
+    ) -> Result<Self, EarSonarError> {
+        if template.is_empty() {
+            return Err(EarSonarError::BadConfig {
+                name: "template",
+                constraint: "must be non-empty",
+            });
+        }
+        if !(regularization > 0.0) {
+            return Err(EarSonarError::BadConfig {
+                name: "regularization",
+                constraint: "must be positive",
+            });
+        }
+        if n_taps == 0 || n_taps > window_len {
+            return Err(EarSonarError::BadConfig {
+                name: "n_taps",
+                constraint: "must be in 1..=window_len",
+            });
+        }
+        let n_fft = next_pow2(window_len + template.len());
+        let mut buf = vec![Complex64::ZERO; n_fft];
+        for (dst, &src) in buf.iter_mut().zip(template) {
+            *dst = Complex64::from_real(src);
+        }
+        let t_spec = fft(&buf);
+        let peak = t_spec.iter().map(|z| z.norm_sqr()).fold(0.0, f64::max);
+        let eps = regularization * peak;
+        let inverse = t_spec
+            .iter()
+            .map(|&t| t.conj() / (t.norm_sqr() + eps))
+            .collect();
+        Ok(ChannelEstimator {
+            inverse,
+            n_fft,
+            n_taps,
+        })
+    }
+
+    /// Number of IR taps produced.
+    pub fn n_taps(&self) -> usize {
+        self.n_taps
+    }
+
+    /// Estimates the channel impulse response of one chirp window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadRecording`] if the window exceeds the
+    /// prepared FFT size or is empty.
+    pub fn estimate(&self, window: &[f64]) -> Result<Vec<f64>, EarSonarError> {
+        if window.is_empty() || window.len() > self.n_fft {
+            return Err(EarSonarError::BadRecording {
+                reason: "window length incompatible with channel estimator",
+            });
+        }
+        let mut buf = vec![Complex64::ZERO; self.n_fft];
+        for (dst, &src) in buf.iter_mut().zip(window) {
+            *dst = Complex64::from_real(src);
+        }
+        let mut spec = fft(&buf);
+        for (z, inv) in spec.iter_mut().zip(&self.inverse) {
+            *z *= *inv;
+        }
+        let ir = ifft(&spec);
+        Ok(ir[..self.n_taps].iter().map(|z| z.re).collect())
+    }
+}
+
+/// Builds the pipeline's channel estimator from its configuration and the
+/// preprocessed template.
+///
+/// # Errors
+///
+/// Propagates [`ChannelEstimator::new`] errors.
+pub fn pipeline_estimator(
+    template: &[f64],
+    config: &EarSonarConfig,
+) -> Result<ChannelEstimator, EarSonarError> {
+    ChannelEstimator::new(
+        template,
+        config.chirp_hop,
+        config.ir_taps,
+        config.deconvolution_epsilon,
+    )
+}
+
+/// Coherently averages per-chirp impulse responses (they share the transmit
+/// grid, so taps align).
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::NoEchoDetected`] for an empty set and
+/// [`EarSonarError::BadRecording`] for ragged lengths.
+pub fn average_irs(irs: &[Vec<f64>]) -> Result<Vec<f64>, EarSonarError> {
+    let first = irs.first().ok_or(EarSonarError::NoEchoDetected)?;
+    let n = first.len();
+    let mut acc = vec![0.0; n];
+    for ir in irs {
+        if ir.len() != n {
+            return Err(EarSonarError::BadRecording {
+                reason: "impulse responses have inconsistent lengths",
+            });
+        }
+        for (a, &v) in acc.iter_mut().zip(ir) {
+            *a += v;
+        }
+    }
+    let count = irs.len() as f64;
+    for a in &mut acc {
+        *a /= count;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earsonar_acoustics::chirp::FmcwChirp;
+
+    fn template() -> Vec<f64> {
+        FmcwChirp::earsonar().samples()
+    }
+
+    fn make(window_len: usize) -> ChannelEstimator {
+        ChannelEstimator::new(&template(), window_len, 64, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ChannelEstimator::new(&[], 240, 64, 1e-3).is_err());
+        assert!(ChannelEstimator::new(&template(), 240, 0, 1e-3).is_err());
+        assert!(ChannelEstimator::new(&template(), 240, 300, 1e-3).is_err());
+        assert!(ChannelEstimator::new(&template(), 240, 64, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_path_ir_peaks_at_its_delay() {
+        let t = template();
+        let est = make(240);
+        let mut window = vec![0.0; 240];
+        for (i, &v) in t.iter().enumerate() {
+            window[i + 7] += 0.6 * v;
+        }
+        let ir = est.estimate(&window).unwrap();
+        let peak = (0..ir.len())
+            .max_by(|&a, &b| ir[a].abs().total_cmp(&ir[b].abs()))
+            .unwrap();
+        assert_eq!(peak, 7);
+        // The estimate is band-limited (the chirp only probes 16-20 kHz),
+        // so the tap recovers a band-limited fraction of the gain.
+        assert!(ir[7] > 0.25 && ir[7] <= 0.65, "tap {}", ir[7]);
+        let far: f64 = ir[30..60].iter().map(|v| v * v).sum();
+        assert!(far < 0.05 * ir[7] * ir[7], "far-tap energy {far}");
+    }
+
+    #[test]
+    fn two_paths_resolve_into_two_taps() {
+        let t = template();
+        let est = make(240);
+        let mut window = vec![0.0; 240];
+        for (i, &v) in t.iter().enumerate() {
+            window[i + 1] += 0.35 * v;
+            window[i + 9] += 0.5 * v;
+        }
+        let ir = est.estimate(&window).unwrap();
+        // Band-limited taps: check the ratio structure, not absolutes.
+        assert!(ir[9] > ir[1], "echo tap {} should exceed direct {}", ir[9], ir[1]);
+        assert!(ir[1] > 0.1, "direct tap {}", ir[1]);
+        assert!((ir[9] / ir[1] - 0.5 / 0.35).abs() < 0.5, "ratio {}", ir[9] / ir[1]);
+    }
+
+    #[test]
+    fn ir_energy_is_distance_invariant() {
+        // The property the pipeline relies on: moving the echo deeper into
+        // the window does not change its IR-domain energy.
+        let t = template();
+        let est = make(240);
+        let mut energies = Vec::new();
+        for delay in [6usize, 8, 10] {
+            let mut window = vec![0.0; 240];
+            for (i, &v) in t.iter().enumerate() {
+                window[i + delay] += 0.5 * v;
+            }
+            let ir = est.estimate(&window).unwrap();
+            let e: f64 = ir[delay.saturating_sub(2)..delay + 3]
+                .iter()
+                .map(|v| v * v)
+                .sum();
+            energies.push(e);
+        }
+        let spread = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - energies.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread < 0.05 * energies[0],
+            "IR energy varies with delay: {energies:?}"
+        );
+    }
+
+    #[test]
+    fn empty_or_oversized_windows_are_rejected() {
+        let est = make(240);
+        assert!(est.estimate(&[]).is_err());
+        assert!(est.estimate(&vec![0.0; 10_000]).is_err());
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let t = template();
+        let est = make(240);
+        // Same path, different noise per chirp.
+        let mut irs = Vec::new();
+        let mut seed = 123u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for _ in 0..16 {
+            let mut window = vec![0.0; 240];
+            for (i, &v) in t.iter().enumerate() {
+                window[i + 7] += 0.5 * v;
+            }
+            for w in window.iter_mut() {
+                *w += 0.05 * rand();
+            }
+            irs.push(est.estimate(&window).unwrap());
+        }
+        let avg = average_irs(&irs).unwrap();
+        let noise_single: f64 = irs[0][30..60].iter().map(|v| v * v).sum();
+        let noise_avg: f64 = avg[30..60].iter().map(|v| v * v).sum();
+        assert!(noise_avg < 0.3 * noise_single, "{noise_avg} vs {noise_single}");
+        // The averaged tap matches a single-chirp clean estimate.
+        let mut clean = vec![0.0; 240];
+        for (i, &v) in t.iter().enumerate() {
+            clean[i + 7] += 0.5 * v;
+        }
+        let reference = est.estimate(&clean).unwrap();
+        assert!((avg[7] - reference[7]).abs() < 0.05);
+    }
+
+    #[test]
+    fn average_irs_validates() {
+        assert!(average_irs(&[]).is_err());
+        assert!(average_irs(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+}

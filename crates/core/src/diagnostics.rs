@@ -1,0 +1,161 @@
+//! Human-readable diagnostics: terminal rendering of what the pipeline
+//! sees inside a recording (impulse response, echo spectrum, per-chirp
+//! health). Backs the CLI's `inspect` command and debugging sessions.
+
+use crate::error::EarSonarError;
+use crate::pipeline::{FrontEnd, ProcessedRecording};
+use earsonar_sim::recorder::Recording;
+use std::fmt::Write as _;
+
+/// Unicode sparkline of a sequence (8 levels). Empty input gives an empty
+/// string; constant input renders at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - lo) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[t]
+        })
+        .collect()
+}
+
+/// Downsamples a sequence to at most `width` points (max-pooling, so peaks
+/// survive) for terminal display.
+pub fn downsample_for_display(values: &[f64], width: usize) -> Vec<f64> {
+    if values.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let lo = i * values.len() / width;
+            let hi = ((i + 1) * values.len() / width).max(lo + 1);
+            values[lo..hi]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// A full textual inspection report of one recording.
+///
+/// # Errors
+///
+/// Propagates front-end processing errors.
+pub fn inspect_recording(
+    front_end: &FrontEnd,
+    recording: &Recording,
+) -> Result<String, EarSonarError> {
+    let processed = front_end.process(recording)?;
+    Ok(render_report(recording, &processed, front_end))
+}
+
+fn render_report(
+    recording: &Recording,
+    p: &ProcessedRecording,
+    front_end: &FrontEnd,
+) -> String {
+    let mut out = String::new();
+    let cfg = front_end.config();
+    let _ = writeln!(
+        out,
+        "recording: {:.0} ms at {:.0} Hz, {} chirps ({} analysed)",
+        recording.duration_s() * 1e3,
+        recording.sample_rate,
+        recording.n_chirps,
+        p.chirps_used
+    );
+
+    // Waveform envelope.
+    let envelope: Vec<f64> = recording.samples.iter().map(|v| v.abs()).collect();
+    let _ = writeln!(
+        out,
+        "waveform  |{}|",
+        sparkline(&downsample_for_display(&envelope, 64))
+    );
+
+    // Echo spectrum across the profile band.
+    let _ = writeln!(
+        out,
+        "echo band |{}|  {:.1}-{:.1} kHz",
+        sparkline(&p.spectrum.profile),
+        cfg.profile_band_hz.0 / 1e3,
+        cfg.profile_band_hz.1 / 1e3
+    );
+    if let Some(dip) = p.spectrum.dip_frequency() {
+        let _ = writeln!(
+            out,
+            "acoustic dip at {:.2} kHz, band power {:.4}",
+            dip / 1e3,
+            p.spectrum.band_power
+        );
+    }
+    if let Some(echo) = p.echoes.first() {
+        let _ = writeln!(
+            out,
+            "eardrum echo: delay {} samples ≈ {:.1} mm, parity ratio {:.2}{}",
+            echo.delay_samples(),
+            echo.distance_m(cfg.sample_rate) * 1e3,
+            echo.energy_ratio,
+            if echo.from_symmetry {
+                ""
+            } else {
+                " (prior fallback)"
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EarSonarConfig;
+    use earsonar_sim::cohort::Cohort;
+    use earsonar_sim::session::{Session, SessionConfig};
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Constant input stays at the floor without NaN.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]).chars().count(), 3);
+    }
+
+    #[test]
+    fn downsample_preserves_peaks() {
+        let mut x = vec![0.0; 1000];
+        x[503] = 9.0;
+        let d = downsample_for_display(&x, 50);
+        assert_eq!(d.len(), 50);
+        assert!(d.iter().any(|&v| v == 9.0), "peak lost");
+        assert!(downsample_for_display(&[], 10).is_empty());
+        assert!(downsample_for_display(&[1.0], 0).is_empty());
+        assert_eq!(downsample_for_display(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn inspection_report_mentions_key_quantities() {
+        let cohort = Cohort::generate(1, 3);
+        let session = Session::record(&cohort.patients()[0], 0, &SessionConfig::default(), 0);
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let report = inspect_recording(&fe, &session.recording).unwrap();
+        assert!(report.contains("recording:"));
+        assert!(report.contains("echo band"));
+        assert!(report.contains("eardrum echo"));
+        assert!(report.contains("kHz"));
+    }
+}

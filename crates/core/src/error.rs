@@ -1,0 +1,96 @@
+//! Error type for the EarSonar pipeline.
+
+use earsonar_dsp::DspError;
+use earsonar_ml::MlError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the EarSonar pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EarSonarError {
+    /// A DSP kernel rejected its input.
+    Dsp(DspError),
+    /// A learning-stage operation failed.
+    Ml(MlError),
+    /// No usable eardrum echo was found in the recording.
+    NoEchoDetected,
+    /// The recording is too short or malformed for the configured pipeline.
+    BadRecording {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A configuration value was out of its valid domain.
+    BadConfig {
+        /// Which parameter.
+        name: &'static str,
+        /// The violated constraint.
+        constraint: &'static str,
+    },
+    /// The detector was asked to predict before being fitted.
+    NotFitted,
+}
+
+impl fmt::Display for EarSonarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EarSonarError::Dsp(e) => write!(f, "dsp error: {e}"),
+            EarSonarError::Ml(e) => write!(f, "learning error: {e}"),
+            EarSonarError::NoEchoDetected => write!(f, "no eardrum echo detected in recording"),
+            EarSonarError::BadRecording { reason } => write!(f, "bad recording: {reason}"),
+            EarSonarError::BadConfig { name, constraint } => {
+                write!(f, "bad config `{name}`: {constraint}")
+            }
+            EarSonarError::NotFitted => write!(f, "detector has not been fitted"),
+        }
+    }
+}
+
+impl Error for EarSonarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EarSonarError::Dsp(e) => Some(e),
+            EarSonarError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DspError> for EarSonarError {
+    fn from(e: DspError) -> Self {
+        EarSonarError::Dsp(e)
+    }
+}
+
+impl From<MlError> for EarSonarError {
+    fn from(e: MlError) -> Self {
+        EarSonarError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e: EarSonarError = DspError::EmptyInput.into();
+        assert!(e.to_string().contains("dsp"));
+        let e: EarSonarError = MlError::EmptyDataset.into();
+        assert!(e.to_string().contains("learning"));
+        assert!(EarSonarError::NotFitted.to_string().contains("fitted"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: EarSonarError = DspError::EmptyInput.into();
+        assert!(e.source().is_some());
+        assert!(EarSonarError::NoEchoDetected.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EarSonarError>();
+    }
+}

@@ -1,0 +1,240 @@
+//! Adaptive-energy event detection (paper §IV-B-2).
+//!
+//! Each chirp and its echoes form a burst of energy against the quiet
+//! inter-chirp gaps. The paper tracks exponentially weighted estimates of
+//! the windowed signal power mean `μ(i)` and deviation `σ(i)` (Eq. 6–7);
+//! an event starts when the instantaneous power exceeds `μ + σ` and ends
+//! when it falls below the global average power `μ̄`.
+
+use crate::config::EarSonarConfig;
+use crate::error::EarSonarError;
+
+/// A detected event: a half-open sample interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventSpan {
+    /// First sample of the event.
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+}
+
+impl EventSpan {
+    /// Event length in samples.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns `true` for a degenerate span.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Runs the paper's adaptive-energy event detector over a preprocessed
+/// signal, returning the detected event spans.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::BadRecording`] if the signal is shorter than
+/// one event window.
+pub fn detect_events(signal: &[f64], config: &EarSonarConfig) -> Result<Vec<EventSpan>, EarSonarError> {
+    let w = config.event_window.max(2);
+    if signal.len() < w {
+        return Err(EarSonarError::BadRecording {
+            reason: "signal shorter than the event-detection window",
+        });
+    }
+    let n = signal.len();
+    let power: Vec<f64> = signal.iter().map(|&x| x * x).collect();
+    let global_mean = power.iter().sum::<f64>() / n as f64;
+
+    // Eq. 7: windowed cumulative power A(i) and windowed deviation B(i).
+    // Eq. 6: exponential updates of mu(i) and sigma(i) with factor 1/W.
+    let alpha = 1.0 / w as f64;
+    // Prime the trackers on the first window.
+    let mut window_sum: f64 = power[..w].iter().sum();
+    let mut mu = window_sum / w as f64;
+    let mut sigma = 0.0f64;
+
+    let mut events = Vec::new();
+    let mut open: Option<usize> = None;
+    for i in 0..n {
+        // Slide the window [i, i+W).
+        if i > 0 {
+            let leaving = power[i - 1];
+            let entering = if i + w - 1 < n { power[i + w - 1] } else { 0.0 };
+            window_sum += entering - leaving;
+        }
+        let a_i = window_sum / w as f64;
+        let dev = (power[i] - a_i).abs();
+        mu = alpha * a_i + (1.0 - alpha) * mu;
+        sigma = alpha * dev + (1.0 - alpha) * sigma;
+
+        match open {
+            None => {
+                if power[i] > mu + sigma && power[i] > global_mean {
+                    open = Some(i);
+                }
+            }
+            Some(start) => {
+                if power[i] < global_mean {
+                    events.push(EventSpan { start, end: i });
+                    open = None;
+                }
+            }
+        }
+    }
+    if let Some(start) = open {
+        events.push(EventSpan { start, end: n });
+    }
+    // Merge events separated by less than half a window (echo ripple).
+    let merged = merge_close_events(events, w / 2);
+    Ok(merged)
+}
+
+fn merge_close_events(events: Vec<EventSpan>, gap: usize) -> Vec<EventSpan> {
+    let mut out: Vec<EventSpan> = Vec::with_capacity(events.len());
+    for e in events {
+        match out.last_mut() {
+            Some(prev) if e.start <= prev.end + gap => prev.end = prev.end.max(e.end),
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Snaps detected events onto the known chirp grid: returns, for each
+/// chirp window, the event detected inside it (if any). Real deployments
+/// know the transmit schedule, so this is how the pipeline consumes the
+/// detector.
+pub fn events_per_chirp(
+    events: &[EventSpan],
+    chirp_hop: usize,
+    n_chirps: usize,
+) -> Vec<Option<EventSpan>> {
+    let mut out = vec![None; n_chirps];
+    for &e in events {
+        let c = e.start / chirp_hop.max(1);
+        if c < n_chirps {
+            let slot: &mut Option<EventSpan> = &mut out[c];
+            // Keep the longest event per chirp window.
+            if slot.is_none_or(|old| e.len() > old.len()) {
+                *slot = Some(e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EarSonarConfig {
+        EarSonarConfig::paper_default()
+    }
+
+    /// A synthetic "chirp train": bursts of a strong 18 kHz tone every
+    /// `hop` samples, silence elsewhere.
+    fn synthetic_train(n_bursts: usize, hop: usize, burst_len: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n_bursts * hop];
+        for b in 0..n_bursts {
+            for i in 0..burst_len {
+                let t = (b * hop + i) as f64;
+                x[b * hop + i] = (2.0 * std::f64::consts::PI * 18_000.0 * t / 48_000.0).sin();
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn detects_each_burst() {
+        let x = synthetic_train(6, 240, 40);
+        let events = detect_events(&x, &config()).unwrap();
+        assert_eq!(events.len(), 6, "{events:?}");
+        for (b, e) in events.iter().enumerate() {
+            let expected = b * 240;
+            assert!(
+                e.start >= expected && e.start < expected + 20,
+                "burst {b} start {e:?}"
+            );
+            assert!(e.end <= expected + 80, "burst {b} end {e:?}");
+        }
+    }
+
+    #[test]
+    fn silence_has_no_events() {
+        let x = vec![0.0; 2048];
+        let events = detect_events(&x, &config()).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn short_signal_is_rejected() {
+        assert!(matches!(
+            detect_events(&[1.0; 4], &config()),
+            Err(EarSonarError::BadRecording { .. })
+        ));
+    }
+
+    #[test]
+    fn weak_noise_does_not_trigger() {
+        // Noise floor well below burst energy.
+        let mut x = synthetic_train(3, 240, 40);
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += 0.01 * ((i as f64 * 1.7).sin());
+        }
+        let events = detect_events(&x, &config()).unwrap();
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn events_snap_to_chirp_grid() {
+        let x = synthetic_train(4, 240, 40);
+        let events = detect_events(&x, &config()).unwrap();
+        let per_chirp = events_per_chirp(&events, 240, 4);
+        assert!(per_chirp.iter().all(Option::is_some));
+        for (c, e) in per_chirp.iter().enumerate() {
+            let e = e.unwrap();
+            assert_eq!(e.start / 240, c);
+        }
+    }
+
+    #[test]
+    fn missing_chirps_leave_gaps() {
+        // Only bursts 0 and 2 present.
+        let mut x = vec![0.0; 4 * 240];
+        for b in [0usize, 2] {
+            for i in 0..40 {
+                let t = (b * 240 + i) as f64;
+                x[b * 240 + i] = (2.0 * std::f64::consts::PI * 18_000.0 * t / 48_000.0).sin();
+            }
+        }
+        let events = detect_events(&x, &config()).unwrap();
+        let per_chirp = events_per_chirp(&events, 240, 4);
+        assert!(per_chirp[0].is_some());
+        assert!(per_chirp[1].is_none());
+        assert!(per_chirp[2].is_some());
+        assert!(per_chirp[3].is_none());
+    }
+
+    #[test]
+    fn event_span_helpers() {
+        let e = EventSpan { start: 10, end: 25 };
+        assert_eq!(e.len(), 15);
+        assert!(!e.is_empty());
+        assert!(EventSpan { start: 5, end: 5 }.is_empty());
+    }
+
+    #[test]
+    fn merge_close_events_coalesces() {
+        let events = vec![
+            EventSpan { start: 0, end: 10 },
+            EventSpan { start: 12, end: 20 },
+            EventSpan { start: 100, end: 110 },
+        ];
+        let merged = merge_close_events(events, 5);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], EventSpan { start: 0, end: 20 });
+    }
+}

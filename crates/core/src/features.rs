@@ -1,0 +1,348 @@
+//! Feature extraction (paper §IV-C-2).
+//!
+//! "EarSonar constructs a 105-element feature vector for each MEE signal
+//! segment, which includes MFCC features and statistical features." The
+//! layout used here:
+//!
+//! | slice      | count | contents                                          |
+//! |------------|-------|----------------------------------------------------|
+//! | `0..26`    | 26    | mean MFCC of the eardrum-echo windows across chirps |
+//! | `26..52`   | 26    | per-coefficient MFCC standard deviation             |
+//! | `52..84`   | 32    | averaged normalized echo PSD profile (16–20 kHz)    |
+//! | `84..90`   | 6     | statistics of the profile (mean, std, max, min, skew, kurtosis) |
+//! | `90..96`   | 6     | statistics of the echo time-domain window           |
+//! | `96..105`  | 9     | spectral-shape descriptors (dip, centroid, flatness, …) |
+
+use crate::absorption::EchoSpectrum;
+use crate::config::EarSonarConfig;
+use crate::error::EarSonarError;
+use crate::segment::EardrumEcho;
+use earsonar_dsp::mfcc::MfccExtractor;
+use earsonar_dsp::stats::{self, Summary};
+
+/// Total feature-vector length, matching the paper.
+pub const FEATURE_COUNT: usize = 105;
+
+const N_MFCC: usize = 26;
+const N_PROFILE: usize = 32;
+
+/// Extracts the 105-element feature vector from segmented echoes.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    mfcc: MfccExtractor,
+    band_low: f64,
+    band_high: f64,
+}
+
+impl FeatureExtractor {
+    /// Builds the extractor from the pipeline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadConfig`] if the configured MFCC or PSD
+    /// dimensions do not sum to 105, or [`EarSonarError::Dsp`] if the MFCC
+    /// filterbank cannot be built.
+    pub fn new(config: &EarSonarConfig) -> Result<Self, EarSonarError> {
+        if config.mfcc.n_coeffs != N_MFCC || config.psd_profile_bins != N_PROFILE {
+            return Err(EarSonarError::BadConfig {
+                name: "mfcc.n_coeffs/psd_profile_bins",
+                constraint: "the 105-feature layout requires 26 MFCCs and 32 profile bins",
+            });
+        }
+        Ok(FeatureExtractor {
+            mfcc: MfccExtractor::new(config.mfcc.clone())?,
+            band_low: config.band_low_hz,
+            band_high: config.band_high_hz,
+        })
+    }
+
+    /// Extracts the feature vector for one recording from its per-chirp
+    /// spectra, the recording-averaged spectrum, and the segmented echoes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if no chirp produced a
+    /// spectrum, and propagates MFCC errors.
+    pub fn extract(
+        &self,
+        per_chirp: &[EchoSpectrum],
+        averaged: &EchoSpectrum,
+        echoes: &[EardrumEcho],
+    ) -> Result<Vec<f64>, EarSonarError> {
+        if per_chirp.is_empty() {
+            return Err(EarSonarError::NoEchoDetected);
+        }
+        let mut features = Vec::with_capacity(FEATURE_COUNT);
+
+        // MFCC mean and std across chirps.
+        let mut mfccs: Vec<Vec<f64>> = Vec::with_capacity(per_chirp.len());
+        for s in per_chirp {
+            mfccs.push(self.mfcc.extract(&s.echo_window)?);
+        }
+        let n = mfccs.len() as f64;
+        let mut mean = vec![0.0; N_MFCC];
+        for m in &mfccs {
+            for (acc, &v) in mean.iter_mut().zip(m) {
+                *acc += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= n;
+        }
+        let mut std = vec![0.0; N_MFCC];
+        for m in &mfccs {
+            for ((acc, &v), &mu) in std.iter_mut().zip(m).zip(&mean) {
+                *acc += (v - mu) * (v - mu);
+            }
+        }
+        for v in &mut std {
+            *v = (*v / n).sqrt();
+        }
+        features.extend_from_slice(&mean);
+        features.extend_from_slice(&std);
+
+        // Averaged PSD profile.
+        features.extend_from_slice(&averaged.profile);
+
+        // Profile statistics.
+        features.extend_from_slice(&Summary::of(&averaged.profile).to_array());
+
+        // Time-domain echo statistics (averaged over chirps).
+        let mut td = [0.0; 6];
+        for s in per_chirp {
+            let a = Summary::of(&s.echo_window).to_array();
+            for (acc, v) in td.iter_mut().zip(a) {
+                *acc += v;
+            }
+        }
+        for v in &mut td {
+            *v /= n;
+        }
+        features.extend_from_slice(&td);
+
+        // Spectral-shape descriptors.
+        features.extend_from_slice(&self.shape_descriptors(averaged, echoes));
+
+        debug_assert_eq!(features.len(), FEATURE_COUNT);
+        Ok(features)
+    }
+
+    fn shape_descriptors(&self, spec: &EchoSpectrum, echoes: &[EardrumEcho]) -> [f64; 9] {
+        let width = self.band_high - self.band_low;
+        let norm_f = |f: f64| ((f - self.band_low) / width).clamp(0.0, 1.0);
+
+        let p = &spec.profile;
+        let total: f64 = p.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        let centroid: f64 = p
+            .iter()
+            .zip(&spec.frequencies)
+            .map(|(&v, &f)| v * norm_f(f))
+            .sum::<f64>()
+            / total;
+        let spread: f64 = (p
+            .iter()
+            .zip(&spec.frequencies)
+            .map(|(&v, &f)| v * (norm_f(f) - centroid).powi(2))
+            .sum::<f64>()
+            / total)
+            .sqrt();
+        let geo_mean = (p
+            .iter()
+            .map(|&v| (v.max(1e-12)).ln())
+            .sum::<f64>()
+            / p.len() as f64)
+            .exp();
+        let flatness = geo_mean / (total / p.len() as f64);
+        let half = p.len() / 2;
+        let low_half: f64 = p[..half].iter().sum();
+        let high_half: f64 = p[half..].iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        let half_ratio = (low_half / high_half).min(100.0);
+        let dip_f = spec.dip_frequency().map(norm_f).unwrap_or(0.5);
+        let peak_f = stats::argmax(p)
+            .map(|i| norm_f(spec.frequencies[i]))
+            .unwrap_or(0.5);
+        let mean_parity = if echoes.is_empty() {
+            0.5
+        } else {
+            echoes.iter().map(|e| e.energy_ratio).sum::<f64>() / echoes.len() as f64
+        };
+        [
+            dip_f,
+            spec.dip_depth(),
+            centroid,
+            spread,
+            flatness,
+            half_ratio,
+            peak_f,
+            (spec.band_power + 1e-12).ln(),
+            mean_parity,
+        ]
+    }
+
+    /// Names of all 105 features, index-aligned with
+    /// [`FeatureExtractor::extract`]'s output.
+    pub fn feature_names() -> Vec<String> {
+        let mut names = Vec::with_capacity(FEATURE_COUNT);
+        for i in 0..N_MFCC {
+            names.push(format!("mfcc_mean_{i:02}"));
+        }
+        for i in 0..N_MFCC {
+            names.push(format!("mfcc_std_{i:02}"));
+        }
+        for i in 0..N_PROFILE {
+            names.push(format!("psd_profile_{i:02}"));
+        }
+        for s in ["mean", "std", "max", "min", "skewness", "kurtosis"] {
+            names.push(format!("profile_{s}"));
+        }
+        for s in ["mean", "std", "max", "min", "skewness", "kurtosis"] {
+            names.push(format!("echo_td_{s}"));
+        }
+        for s in [
+            "dip_frequency",
+            "dip_depth",
+            "spectral_centroid",
+            "spectral_spread",
+            "spectral_flatness",
+            "half_band_ratio",
+            "peak_frequency",
+            "log_band_power",
+            "parity_energy_ratio",
+        ] {
+            names.push(format!("shape_{s}"));
+        }
+        debug_assert_eq!(names.len(), FEATURE_COUNT);
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absorption::echo_spectrum;
+    use crate::segment::segment_eardrum_echo;
+
+    fn config() -> EarSonarConfig {
+        EarSonarConfig::paper_default()
+    }
+
+    fn spectra_for_window(w: &[f64], cfg: &EarSonarConfig) -> (EchoSpectrum, EardrumEcho) {
+        let echo = segment_eardrum_echo(w, cfg).unwrap();
+        let spec = echo_spectrum(w, &echo, 1.0, None, cfg).unwrap();
+        (spec, echo)
+    }
+
+    fn test_window(depth: f64) -> Vec<f64> {
+        let chirp = earsonar_acoustics::chirp::FmcwChirp::earsonar().samples();
+        let shaped = earsonar_acoustics::propagation::apply_frequency_response(
+            &{
+                let mut p = chirp.clone();
+                p.extend(std::iter::repeat_n(0.0, 40));
+                p
+            },
+            48_000.0,
+            |f| {
+                let x = (f - 18_000.0) / 500.0;
+                1.0 - depth * (-0.5 * x * x).exp()
+            },
+        );
+        let mut window = vec![0.0; 240];
+        for (i, &c) in chirp.iter().enumerate() {
+            window[i + 1] += c;
+        }
+        for (i, &c) in shaped.iter().enumerate() {
+            if i + 9 < 240 {
+                window[i + 9] += 0.45 * c;
+            }
+        }
+        window
+    }
+
+    #[test]
+    fn feature_vector_has_105_elements() {
+        let cfg = config();
+        let ex = FeatureExtractor::new(&cfg).unwrap();
+        let (spec, echo) = spectra_for_window(&test_window(0.3), &cfg);
+        let f = ex
+            .extract(&[spec.clone(), spec.clone()], &spec, &[echo])
+            .unwrap();
+        assert_eq!(f.len(), FEATURE_COUNT);
+        assert!(f.iter().all(|v| v.is_finite()), "non-finite feature");
+    }
+
+    #[test]
+    fn feature_names_align_with_count() {
+        let names = FeatureExtractor::feature_names();
+        assert_eq!(names.len(), FEATURE_COUNT);
+        assert_eq!(names[0], "mfcc_mean_00");
+        assert_eq!(names[52], "psd_profile_00");
+        assert_eq!(names[104], "shape_parity_energy_ratio");
+        // All names unique.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn deeper_dip_lowers_band_power_feature() {
+        let cfg = config();
+        let ex = FeatureExtractor::new(&cfg).unwrap();
+        let mut powers = Vec::new();
+        for d in [0.05, 0.65] {
+            let (spec, echo) = spectra_for_window(&test_window(d), &cfg);
+            let f = ex
+                .extract(std::slice::from_ref(&spec), &spec, &[echo])
+                .unwrap();
+            powers.push(f[103]); // shape_log_band_power
+        }
+        assert!(powers[1] < powers[0], "log band power: {powers:?}");
+    }
+
+    #[test]
+    fn identical_chirps_have_zero_mfcc_std() {
+        let cfg = config();
+        let ex = FeatureExtractor::new(&cfg).unwrap();
+        let (spec, echo) = spectra_for_window(&test_window(0.2), &cfg);
+        let f = ex
+            .extract(&[spec.clone(), spec.clone(), spec.clone()], &spec, &[echo])
+            .unwrap();
+        for (i, v) in f.iter().enumerate().take(52).skip(26) {
+            assert!(v.abs() < 1e-12, "mfcc std {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let cfg = config();
+        let ex = FeatureExtractor::new(&cfg).unwrap();
+        let (spec, _) = spectra_for_window(&test_window(0.2), &cfg);
+        assert!(matches!(
+            ex.extract(&[], &spec, &[]),
+            Err(EarSonarError::NoEchoDetected)
+        ));
+    }
+
+    #[test]
+    fn wrong_layout_config_is_rejected() {
+        let mut cfg = config();
+        cfg.psd_profile_bins = 16;
+        assert!(matches!(
+            FeatureExtractor::new(&cfg),
+            Err(EarSonarError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_features_are_copied_verbatim() {
+        let cfg = config();
+        let ex = FeatureExtractor::new(&cfg).unwrap();
+        let (spec, echo) = spectra_for_window(&test_window(0.4), &cfg);
+        let f = ex
+            .extract(std::slice::from_ref(&spec), &spec, &[echo])
+            .unwrap();
+        for (i, &p) in spec.profile.iter().enumerate() {
+            assert_eq!(f[52 + i], p);
+        }
+    }
+}

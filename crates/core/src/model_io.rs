@@ -1,0 +1,392 @@
+//! Trained-model persistence.
+//!
+//! A home-screening deployment trains once (factory/clinic) and ships the
+//! fitted detector to devices. This module saves and loads a trained
+//! [`EarSonar`] system as a small, versioned, human-readable text file —
+//! no serialization dependency needed (the allowed-dependency budget has
+//! `serde` but no format crate, so the format is hand-rolled and fully
+//! tested).
+//!
+//! Format (`earsonar-model v1`): one `key: values…` line per field, with
+//! vectors space-separated and matrices as one line per row.
+
+use crate::config::EarSonarConfig;
+use crate::detect::EarSonarDetector;
+use crate::error::EarSonarError;
+use crate::pipeline::{EarSonar, FrontEnd};
+use earsonar_dsp::window::Window;
+use earsonar_ml::kmeans::KMeans;
+use earsonar_ml::labeling::ClusterLabeling;
+use earsonar_ml::scaler::StandardScaler;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const MAGIC: &str = "earsonar-model v1";
+
+fn bad(constraint: &'static str) -> EarSonarError {
+    EarSonarError::BadRecording { reason: constraint }
+}
+
+fn window_name(w: Window) -> &'static str {
+    match w {
+        Window::Rectangular => "rectangular",
+        Window::Hann => "hann",
+        Window::Hamming => "hamming",
+        Window::Blackman => "blackman",
+    }
+}
+
+fn window_from_name(s: &str) -> Result<Window, EarSonarError> {
+    match s {
+        "rectangular" => Ok(Window::Rectangular),
+        "hann" => Ok(Window::Hann),
+        "hamming" => Ok(Window::Hamming),
+        "blackman" => Ok(Window::Blackman),
+        _ => Err(bad("unknown window name in model file")),
+    }
+}
+
+/// Serializes a trained system to the model text format.
+pub fn model_to_string(system: &EarSonar) -> String {
+    let cfg = system.front_end().config();
+    let det = system.detector();
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+
+    // Configuration.
+    let _ = writeln!(out, "sample_rate: {}", cfg.sample_rate);
+    let _ = writeln!(out, "band_hz: {} {}", cfg.band_low_hz, cfg.band_high_hz);
+    let _ = writeln!(out, "noise_filter_order: {}", cfg.noise_filter_order);
+    let _ = writeln!(out, "chirp: {} {}", cfg.chirp_len, cfg.chirp_hop);
+    let _ = writeln!(out, "event_window: {}", cfg.event_window);
+    let _ = writeln!(out, "min_symmetry_support: {}", cfg.min_symmetry_support);
+    let _ = writeln!(out, "parity_energy_threshold: {}", cfg.parity_energy_threshold);
+    let _ = writeln!(
+        out,
+        "eardrum_distance_range_m: {} {}",
+        cfg.eardrum_distance_range_m.0, cfg.eardrum_distance_range_m.1
+    );
+    let _ = writeln!(out, "cancel_max_delay: {}", cfg.cancel_max_delay);
+    let _ = writeln!(out, "echo_window_half: {}", cfg.echo_window_half);
+    let _ = writeln!(out, "ir_taps: {}", cfg.ir_taps);
+    let _ = writeln!(out, "deconvolution_epsilon: {}", cfg.deconvolution_epsilon);
+    let _ = writeln!(out, "echo_ir: {} {}", cfg.echo_ir_pre, cfg.echo_ir_tail);
+    let _ = writeln!(out, "n_fft: {}", cfg.n_fft);
+    let _ = writeln!(out, "window: {}", window_name(cfg.window));
+    let _ = writeln!(out, "psd_profile_bins: {}", cfg.psd_profile_bins);
+    let _ = writeln!(
+        out,
+        "profile_band_hz: {} {}",
+        cfg.profile_band_hz.0, cfg.profile_band_hz.1
+    );
+    let _ = writeln!(
+        out,
+        "mfcc: {} {} {} {} {} {}",
+        cfg.mfcc.sample_rate,
+        cfg.mfcc.n_fft,
+        cfg.mfcc.n_filters,
+        cfg.mfcc.n_coeffs,
+        cfg.mfcc.f_min,
+        cfg.mfcc.f_max
+    );
+    let _ = writeln!(out, "mfcc_window: {}", window_name(cfg.mfcc.window));
+    let _ = writeln!(out, "k_clusters: {}", cfg.k_clusters);
+    let _ = writeln!(out, "top_features: {}", cfg.top_features);
+    let _ = writeln!(out, "laplacian_neighbors: {}", cfg.laplacian_neighbors);
+    let _ = writeln!(out, "kmeans_restarts: {}", cfg.kmeans_restarts);
+    let _ = writeln!(out, "seed: {}", cfg.seed);
+    let _ = writeln!(out, "remove_outliers: {}", cfg.remove_outliers);
+
+    // Detector components.
+    let join = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:?}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let _ = writeln!(out, "scaler_means: {}", join(det.scaler().means()));
+    let _ = writeln!(out, "scaler_stds: {}", join(det.scaler().stds()));
+    let _ = writeln!(
+        out,
+        "selected: {}",
+        det.selected_features()
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(out, "centroids: {}", det.kmeans().centroids().len());
+    for c in det.kmeans().centroids() {
+        let _ = writeln!(out, "centroid: {}", join(c));
+    }
+    let _ = writeln!(
+        out,
+        "labeling: {}",
+        det.labeling()
+            .mapping()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    out
+}
+
+/// Saves a trained system to `path`.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::BadRecording`] on I/O failure.
+pub fn save_model(path: impl AsRef<Path>, system: &EarSonar) -> Result<(), EarSonarError> {
+    std::fs::write(path, model_to_string(system))
+        .map_err(|_| bad("could not write the model file"))
+}
+
+/// Parses a model from its text form.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::BadRecording`] for format violations, plus any
+/// configuration or component validation error.
+pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(bad("not an earsonar-model v1 file"));
+    }
+
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or(bad("malformed model line"))?;
+        fields.push((key.trim().to_string(), value.trim().to_string()));
+    }
+    let get = |key: &str| -> Result<&str, EarSonarError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or(bad("missing model field"))
+    };
+    fn f64s(s: &str) -> Result<Vec<f64>, EarSonarError> {
+        s.split_whitespace()
+            .map(|t| t.parse::<f64>().map_err(|_| bad("bad float in model file")))
+            .collect()
+    }
+    fn usizes(s: &str) -> Result<Vec<usize>, EarSonarError> {
+        s.split_whitespace()
+            .map(|t| {
+                t.parse::<usize>()
+                    .map_err(|_| bad("bad integer in model file"))
+            })
+            .collect()
+    }
+    fn one_f64(s: &str) -> Result<f64, EarSonarError> {
+        s.trim()
+            .parse()
+            .map_err(|_| bad("bad float in model file"))
+    }
+    fn one_usize(s: &str) -> Result<usize, EarSonarError> {
+        s.trim()
+            .parse()
+            .map_err(|_| bad("bad integer in model file"))
+    }
+    fn two_f64(s: &str) -> Result<(f64, f64), EarSonarError> {
+        let v = f64s(s)?;
+        if v.len() != 2 {
+            return Err(bad("expected two floats"));
+        }
+        Ok((v[0], v[1]))
+    }
+
+    let band = two_f64(get("band_hz")?)?;
+    let chirp = usizes(get("chirp")?)?;
+    if chirp.len() != 2 {
+        return Err(bad("expected two chirp integers"));
+    }
+    let echo_ir = usizes(get("echo_ir")?)?;
+    if echo_ir.len() != 2 {
+        return Err(bad("expected two echo_ir integers"));
+    }
+    let mfcc_fields = f64s(get("mfcc")?)?;
+    if mfcc_fields.len() != 6 {
+        return Err(bad("expected six mfcc values"));
+    }
+
+    let config = EarSonarConfig {
+        sample_rate: one_f64(get("sample_rate")?)?,
+        band_low_hz: band.0,
+        band_high_hz: band.1,
+        noise_filter_order: one_usize(get("noise_filter_order")?)?,
+        chirp_len: chirp[0],
+        chirp_hop: chirp[1],
+        event_window: one_usize(get("event_window")?)?,
+        min_symmetry_support: one_usize(get("min_symmetry_support")?)?,
+        parity_energy_threshold: one_f64(get("parity_energy_threshold")?)?,
+        eardrum_distance_range_m: two_f64(get("eardrum_distance_range_m")?)?,
+        cancel_max_delay: one_usize(get("cancel_max_delay")?)?,
+        echo_window_half: one_usize(get("echo_window_half")?)?,
+        ir_taps: one_usize(get("ir_taps")?)?,
+        deconvolution_epsilon: one_f64(get("deconvolution_epsilon")?)?,
+        echo_ir_pre: echo_ir[0],
+        echo_ir_tail: echo_ir[1],
+        n_fft: one_usize(get("n_fft")?)?,
+        window: window_from_name(get("window")?)?,
+        psd_profile_bins: one_usize(get("psd_profile_bins")?)?,
+        profile_band_hz: two_f64(get("profile_band_hz")?)?,
+        mfcc: earsonar_dsp::mfcc::MfccConfig {
+            sample_rate: mfcc_fields[0],
+            n_fft: mfcc_fields[1] as usize,
+            n_filters: mfcc_fields[2] as usize,
+            n_coeffs: mfcc_fields[3] as usize,
+            f_min: mfcc_fields[4],
+            f_max: mfcc_fields[5],
+            window: window_from_name(get("mfcc_window")?)?,
+        },
+        k_clusters: one_usize(get("k_clusters")?)?,
+        top_features: one_usize(get("top_features")?)?,
+        laplacian_neighbors: one_usize(get("laplacian_neighbors")?)?,
+        kmeans_restarts: one_usize(get("kmeans_restarts")?)?,
+        seed: get("seed")?
+            .parse()
+            .map_err(|_| bad("bad seed in model file"))?,
+        remove_outliers: match get("remove_outliers")? {
+            "true" => true,
+            "false" => false,
+            _ => return Err(bad("bad boolean in model file")),
+        },
+    };
+    config.validate()?;
+
+    let scaler = StandardScaler::from_parts(
+        f64s(get("scaler_means")?)?,
+        f64s(get("scaler_stds")?)?,
+    )?;
+    let selected = usizes(get("selected")?)?;
+    let n_centroids = one_usize(get("centroids")?)?;
+    let centroids: Vec<Vec<f64>> = fields
+        .iter()
+        .filter(|(k, _)| k == "centroid")
+        .map(|(_, v)| f64s(v))
+        .collect::<Result<_, _>>()?;
+    if centroids.len() != n_centroids {
+        return Err(bad("centroid count mismatch"));
+    }
+    let kmeans = KMeans::from_centroids(centroids)?;
+    let labeling = ClusterLabeling::from_mapping(
+        usizes(get("labeling")?)?,
+        earsonar_sim::effusion::MeeState::COUNT,
+    )?;
+
+    let detector = EarSonarDetector::from_components(scaler, selected, kmeans, labeling)?;
+    let front_end = FrontEnd::new(&config)?;
+    Ok(EarSonar::from_parts(front_end, detector))
+}
+
+/// Loads a trained system from `path`.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::BadRecording`] on I/O failure or format
+/// violations.
+pub fn load_model(path: impl AsRef<Path>) -> Result<EarSonar, EarSonarError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|_| bad("could not read the model file"))?;
+    model_from_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earsonar_sim::cohort::Cohort;
+    use earsonar_sim::dataset::{Dataset, DatasetSpec};
+
+    fn trained() -> (EarSonar, Dataset) {
+        let data = Dataset::build(&Cohort::generate(6, 21), &DatasetSpec::default());
+        let system = EarSonar::fit(&data.sessions, &EarSonarConfig::default()).expect("fit");
+        (system, data)
+    }
+
+    #[test]
+    fn string_round_trip_preserves_predictions() {
+        let (system, data) = trained();
+        let text = model_to_string(&system);
+        assert!(text.starts_with(MAGIC));
+        let restored = model_from_string(&text).expect("parse");
+        for s in data.sessions.iter().take(12) {
+            assert_eq!(
+                system.screen(&s.recording).unwrap(),
+                restored.screen(&s.recording).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (system, data) = trained();
+        let path = std::env::temp_dir().join("earsonar_model_roundtrip.model");
+        save_model(&path, &system).expect("save");
+        let restored = load_model(&path).expect("load");
+        let s = &data.sessions[0];
+        assert_eq!(
+            system.screen(&s.recording).unwrap(),
+            restored.screen(&s.recording).unwrap()
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn config_survives_round_trip() {
+        let (system, _) = trained();
+        let restored = model_from_string(&model_to_string(&system)).expect("parse");
+        assert_eq!(
+            system.front_end().config(),
+            restored.front_end().config()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(model_from_string("").is_err());
+        assert!(model_from_string("not a model").is_err());
+        assert!(model_from_string(MAGIC).is_err()); // fields missing
+        let (system, _) = trained();
+        let text = model_to_string(&system);
+        // Corrupt a float.
+        let broken = text.replace("scaler_means:", "scaler_means: zzz");
+        assert!(model_from_string(&broken).is_err());
+        // Drop the labeling line.
+        let dropped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("labeling:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(model_from_string(&dropped).is_err());
+        assert!(load_model("/nonexistent/model/file").is_err());
+    }
+
+    #[test]
+    fn detector_component_validation() {
+        let (system, _) = trained();
+        let det = system.detector();
+        // Inconsistent k-means dimensionality is rejected.
+        let bad_km = KMeans::from_centroids(vec![vec![0.0; 3]; 4]).unwrap();
+        assert!(EarSonarDetector::from_components(
+            det.scaler().clone(),
+            det.selected_features().to_vec(),
+            bad_km,
+            det.labeling().clone(),
+        )
+        .is_err());
+        // Out-of-range selected index is rejected.
+        assert!(EarSonarDetector::from_components(
+            det.scaler().clone(),
+            vec![10_000],
+            KMeans::from_centroids(det.kmeans().centroids().to_vec()).unwrap(),
+            det.labeling().clone(),
+        )
+        .is_err());
+    }
+}

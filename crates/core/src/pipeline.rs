@@ -1,0 +1,341 @@
+//! The end-to-end EarSonar system (paper §III).
+//!
+//! [`EarSonar`] wires the four modules of the paper's system overview
+//! together: acoustic signal collection (provided by hardware or the
+//! simulator), signal preprocessing, acoustic absorption analysis, and MEE
+//! detection. [`EarSonar::fit`] plays the role of the training phase on
+//! collected sessions; [`EarSonar::screen`] is the home-screening call.
+
+use crate::absorption::{average_spectra, echo_ir_spectrum, EchoSpectrum};
+use crate::channel::{average_irs, pipeline_estimator, ChannelEstimator};
+use crate::cancel::chirp_template;
+use earsonar_acoustics::propagation::delay_fractional_allpass;
+use crate::config::EarSonarConfig;
+use crate::detect::EarSonarDetector;
+use crate::error::EarSonarError;
+use crate::event::{detect_events, events_per_chirp};
+use crate::features::FeatureExtractor;
+use crate::preprocess::Preprocessor;
+use crate::segment::{segment_with_anchor, EardrumEcho};
+use earsonar_sim::effusion::MeeState;
+use earsonar_sim::recorder::Recording;
+use earsonar_sim::session::Session;
+
+pub use crate::config::EarSonarConfig as Config;
+
+/// Per-recording products of the signal-processing front end.
+#[derive(Debug, Clone)]
+pub struct ProcessedRecording {
+    /// The 105-element feature vector.
+    pub features: Vec<f64>,
+    /// The recording-averaged echo spectrum.
+    pub spectrum: EchoSpectrum,
+    /// Per-chirp segmented echoes (chirps that failed are skipped).
+    pub echoes: Vec<EardrumEcho>,
+    /// How many chirps contributed.
+    pub chirps_used: usize,
+}
+
+/// The signal-processing front end, reusable without a fitted detector.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    config: EarSonarConfig,
+    preprocessor: Preprocessor,
+    extractor: FeatureExtractor,
+    template: Vec<f64>,
+    estimator: ChannelEstimator,
+}
+
+impl FrontEnd {
+    /// Builds the front end from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadConfig`] or [`EarSonarError::Dsp`] if
+    /// the configuration is infeasible.
+    pub fn new(config: &EarSonarConfig) -> Result<Self, EarSonarError> {
+        config.validate()?;
+        let preprocessor = Preprocessor::new(config)?;
+        // The cancellation template must look like the direct leak *after*
+        // preprocessing, so run the transmit chirp through the same
+        // zero-phase band-pass the recording sees.
+        let mut raw = chirp_template(config)?;
+        raw.extend(std::iter::repeat_n(0.0, raw.len()));
+        let filtered = preprocessor.run(&raw)?;
+        let estimator = pipeline_estimator(&filtered, config)?;
+        Ok(FrontEnd {
+            config: config.clone(),
+            preprocessor,
+            extractor: FeatureExtractor::new(config)?,
+            template: filtered,
+            estimator,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EarSonarConfig {
+        &self.config
+    }
+
+    /// The preprocessed transmit-chirp template the front end deconvolves
+    /// against (useful for loopback tests and custom analyses).
+    pub fn template(&self) -> &[f64] {
+        &self.template
+    }
+
+    /// Runs preprocessing → event detection → segmentation → absorption
+    /// analysis → feature extraction on one recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if no chirp yields a
+    /// usable echo, or [`EarSonarError::BadRecording`] for malformed input.
+    pub fn process(&self, recording: &Recording) -> Result<ProcessedRecording, EarSonarError> {
+        if recording.samples.is_empty() {
+            return Err(EarSonarError::BadRecording {
+                reason: "empty recording",
+            });
+        }
+        let filtered = self.preprocessor.run(&recording.samples)?;
+        let events = detect_events(&filtered, &self.config)?;
+        let per_chirp_events =
+            events_per_chirp(&events, recording.chirp_hop, recording.n_chirps);
+
+        // Per-chirp channel impulse responses (Wiener deconvolution by
+        // the known chirp), then a coherent average across chirps.
+        let mut irs: Vec<Vec<f64>> = Vec::new();
+        for (c, event) in per_chirp_events.iter().enumerate().take(recording.n_chirps) {
+            if event.is_none() {
+                continue;
+            }
+            let start = c * recording.chirp_hop;
+            let end = (start + recording.chirp_hop).min(filtered.len());
+            if let Ok(ir) = self.estimator.estimate(&filtered[start..end]) {
+                irs.push(ir);
+            }
+        }
+        if irs.is_empty() {
+            return Err(EarSonarError::NoEchoDetected);
+        }
+        let avg_ir = average_irs(&irs)?;
+
+        // The transmit grid fixes the delay origin: the direct leak (tiny
+        // by hardware design) arrives one sample in. Absolute spectral
+        // levels are meaningful because the probe amplitude is fixed.
+        let direct_tap = 1usize;
+        let calibration = 1.0;
+
+        // Parity segmentation on the averaged IR locates the eardrum echo.
+        let mut echo = segment_with_anchor(&avg_ir, direct_tap, &self.config)?;
+
+        // Subsample alignment: place the echo pulse's envelope peak on the
+        // integer grid so the fixed analysis section always captures the
+        // same portion of the pulse, independent of eardrum distance.
+        let env = earsonar_dsp::hilbert::envelope(&avg_ir);
+        let refined = earsonar_dsp::hilbert::refine_peak(&env, echo.center, 3)
+            .unwrap_or(echo.center as f64);
+        let target = refined.ceil() + 1.0;
+        let shift = target - refined; // in (0, 2]: a pure delay
+        let aligned_len = avg_ir.len() + 3;
+        let align =
+            |ir: &[f64]| delay_fractional_allpass(ir, shift, aligned_len);
+        let aligned_center = target as usize;
+        echo.center = aligned_center;
+
+        let avg_aligned = align(&avg_ir);
+        let mut spectra: Vec<EchoSpectrum> = Vec::new();
+        let mut echoes: Vec<EardrumEcho> = Vec::new();
+        for ir in &irs {
+            let ir_aligned = align(ir);
+            if let Ok(s) =
+                echo_ir_spectrum(&ir_aligned, aligned_center, calibration, &self.config)
+            {
+                spectra.push(s);
+                echoes.push(echo.clone());
+            }
+        }
+        let _ = &avg_aligned;
+        if spectra.is_empty() {
+            return Err(EarSonarError::NoEchoDetected);
+        }
+        let averaged = average_spectra(&spectra)?;
+        let features = self.extractor.extract(&spectra, &averaged, &echoes)?;
+        Ok(ProcessedRecording {
+            features,
+            spectrum: averaged,
+            echoes,
+            chirps_used: spectra.len(),
+        })
+    }
+}
+
+/// The full, fitted EarSonar system.
+#[derive(Debug, Clone)]
+pub struct EarSonar {
+    front_end: FrontEnd,
+    detector: EarSonarDetector,
+}
+
+impl EarSonar {
+    /// Fits the system on labelled training sessions: runs the front end
+    /// over every recording and trains the detector on the feature
+    /// vectors.
+    ///
+    /// Sessions whose recordings yield no echo are skipped (they would be
+    /// rejected on hardware too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if *no* session could be
+    /// processed, and propagates configuration and learning errors.
+    pub fn fit(sessions: &[Session], config: &EarSonarConfig) -> Result<Self, EarSonarError> {
+        let front_end = FrontEnd::new(config)?;
+        let mut features = Vec::with_capacity(sessions.len());
+        let mut labels = Vec::with_capacity(sessions.len());
+        for s in sessions {
+            if let Ok(p) = front_end.process(&s.recording) {
+                features.push(p.features);
+                labels.push(s.ground_truth);
+            }
+        }
+        if features.is_empty() {
+            return Err(EarSonarError::NoEchoDetected);
+        }
+        let detector = EarSonarDetector::fit(&features, &labels, config)?;
+        Ok(EarSonar {
+            front_end,
+            detector,
+        })
+    }
+
+    /// Builds a system from an already-fitted detector (used by the
+    /// evaluation harness to avoid re-processing recordings).
+    pub fn from_parts(front_end: FrontEnd, detector: EarSonarDetector) -> Self {
+        EarSonar {
+            front_end,
+            detector,
+        }
+    }
+
+    /// Screens one recording: the home-use call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end errors ([`EarSonarError::NoEchoDetected`],
+    /// [`EarSonarError::BadRecording`]) and prediction errors.
+    pub fn screen(&self, recording: &Recording) -> Result<MeeState, EarSonarError> {
+        let processed = self.front_end.process(recording)?;
+        self.detector.predict(&processed.features)
+    }
+
+    /// The signal-processing front end.
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.front_end
+    }
+
+    /// The fitted detector.
+    pub fn detector(&self) -> &EarSonarDetector {
+        &self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earsonar_sim::cohort::Cohort;
+    use earsonar_sim::dataset::{Dataset, DatasetSpec};
+    use earsonar_sim::session::SessionConfig;
+
+    fn small_dataset(n_patients: usize, seed: u64) -> Dataset {
+        let cohort = Cohort::generate(n_patients, seed);
+        Dataset::build(
+            &cohort,
+            &DatasetSpec {
+                sessions_per_state: 2,
+                config: SessionConfig::default(),
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn front_end_produces_full_feature_vectors() {
+        let ds = small_dataset(2, 5);
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        for s in &ds.sessions {
+            let p = fe.process(&s.recording).unwrap();
+            assert_eq!(p.features.len(), crate::features::FEATURE_COUNT);
+            assert!(p.chirps_used > 0);
+            assert!(p.features.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn front_end_uses_most_chirps_in_quiet_conditions() {
+        let ds = small_dataset(1, 6);
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let p = fe.process(&ds.sessions[0].recording).unwrap();
+        let total = ds.sessions[0].recording.n_chirps;
+        assert!(
+            p.chirps_used * 10 >= total * 8,
+            "{} of {total} chirps used",
+            p.chirps_used
+        );
+    }
+
+    #[test]
+    fn empty_recording_is_rejected() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = Recording {
+            samples: vec![],
+            sample_rate: 48_000.0,
+            chirp_hop: 240,
+            n_chirps: 0,
+            chirp_len: 24,
+        };
+        assert!(matches!(
+            fe.process(&rec),
+            Err(EarSonarError::BadRecording { .. })
+        ));
+    }
+
+    #[test]
+    fn silent_recording_has_no_echo() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = Recording {
+            samples: vec![0.0; 240 * 8],
+            sample_rate: 48_000.0,
+            chirp_hop: 240,
+            n_chirps: 8,
+            chirp_len: 24,
+        };
+        assert!(matches!(
+            fe.process(&rec),
+            Err(EarSonarError::NoEchoDetected)
+        ));
+    }
+
+    #[test]
+    fn fit_and_screen_round_trip() {
+        let ds = small_dataset(6, 7);
+        let system = EarSonar::fit(&ds.sessions, &EarSonarConfig::default()).unwrap();
+        // Training-set accuracy must clearly beat chance (25%).
+        let mut correct = 0;
+        for s in &ds.sessions {
+            if system.screen(&s.recording).unwrap() == s.ground_truth {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.sessions.len() as f64;
+        assert!(acc > 0.5, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn processing_is_deterministic() {
+        let ds = small_dataset(1, 8);
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let a = fe.process(&ds.sessions[0].recording).unwrap();
+        let b = fe.process(&ds.sessions[0].recording).unwrap();
+        assert_eq!(a.features, b.features);
+    }
+}

@@ -1,0 +1,155 @@
+//! ASCII table formatting for the experiment binaries.
+//!
+//! The bench harness prints each paper table/figure as a plain-text table;
+//! this module is the shared formatter.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title.
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<I, S>(&mut self, cols: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", Self::format_row(&self.header, &widths));
+            let _ = writeln!(out, "{sep}");
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", Self::format_row(row, &widths));
+        }
+        out
+    }
+
+    fn format_row(cells: &[String], widths: &[usize]) -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal, e.g. `92.8%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn num(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo");
+        t.header(["State", "Precision"]);
+        t.row(["Clear", "93.0%"]);
+        t.row(["Purulent", "91.5%"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("State"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows + title.
+        assert_eq!(lines.len(), 5);
+        // Alignment: all rows same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("Empty");
+        let s = t.render();
+        assert_eq!(s.trim(), "== Empty ==");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.928), "92.8%");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn ragged_rows_do_not_panic() {
+        let mut t = Table::new("Ragged");
+        t.header(["A", "B", "C"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('3'));
+    }
+}

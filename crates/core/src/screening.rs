@@ -1,0 +1,280 @@
+//! Home-monitoring layer: the paper's intended use case (§I, §VIII).
+//!
+//! The paper positions EarSonar as "a tool for the initial screening of
+//! MEE in families": a caregiver measures daily and needs (a) a robust
+//! binary *fluid / no fluid* verdict (the clinically actionable question
+//! posed by Chan et al.), and (b) a trend over days that smooths out
+//! single-measurement noise. This module wraps the four-state detector in
+//! both.
+
+use crate::error::EarSonarError;
+use crate::pipeline::EarSonar;
+use earsonar_sim::effusion::MeeState;
+use earsonar_sim::recorder::Recording;
+
+/// The binary screening verdict a caregiver acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScreeningVerdict {
+    /// No effusion detected — the middle ear looks clear.
+    Clear,
+    /// Effusion detected (any of Serous, Mucoid, Purulent).
+    EffusionDetected {
+        /// The fine-grained state behind the verdict.
+        state: MeeState,
+    },
+}
+
+impl ScreeningVerdict {
+    /// Collapses a four-state prediction into the binary verdict.
+    pub fn from_state(state: MeeState) -> ScreeningVerdict {
+        match state {
+            MeeState::Clear => ScreeningVerdict::Clear,
+            other => ScreeningVerdict::EffusionDetected { state: other },
+        }
+    }
+
+    /// Returns `true` if effusion was detected.
+    pub fn has_effusion(&self) -> bool {
+        matches!(self, ScreeningVerdict::EffusionDetected { .. })
+    }
+}
+
+/// Recommendation derived from a screening history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// No effusion trend — routine monitoring only.
+    AllClear,
+    /// Effusion present but improving across measurements.
+    Improving,
+    /// Effusion persisting without improvement; the paper's clinical
+    /// guidance (persistent effusion risks hearing damage) says see a
+    /// physician.
+    SeekClinicalReview,
+    /// Not enough measurements to judge a trend yet.
+    InsufficientData,
+}
+
+/// A multi-day home-screening tracker over a trained [`EarSonar`] system.
+///
+/// # Example
+///
+/// ```no_run
+/// # use earsonar::screening::HomeScreening;
+/// # use earsonar::{EarSonar, EarSonarConfig};
+/// # use earsonar_sim::dataset::{Dataset, DatasetSpec};
+/// # use earsonar_sim::cohort::Cohort;
+/// # let data = Dataset::build(&Cohort::generate(8, 1), &DatasetSpec::default());
+/// let system = EarSonar::fit(&data.sessions, &EarSonarConfig::default()).unwrap();
+/// let mut monitor = HomeScreening::new(system);
+/// // each morning:
+/// // monitor.record(&this_mornings_recording)?;
+/// // println!("{:?}", monitor.recommendation());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HomeScreening {
+    system: EarSonar,
+    history: Vec<MeeState>,
+}
+
+impl HomeScreening {
+    /// Wraps a trained system with an empty history.
+    pub fn new(system: EarSonar) -> HomeScreening {
+        HomeScreening {
+            system,
+            history: Vec::new(),
+        }
+    }
+
+    /// Screens one recording, appends it to the history, and returns the
+    /// binary verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors; a failed measurement leaves the history
+    /// unchanged.
+    pub fn record(&mut self, recording: &Recording) -> Result<ScreeningVerdict, EarSonarError> {
+        let state = self.system.screen(recording)?;
+        self.history.push(state);
+        Ok(ScreeningVerdict::from_state(state))
+    }
+
+    /// The per-measurement state history, oldest first.
+    pub fn history(&self) -> &[MeeState] {
+        &self.history
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Majority state over the last `window` measurements — the smoothed
+    /// "current state" a caregiver should read. Ties resolve to the less
+    /// severe state (screening errs toward re-measurement, not alarm).
+    pub fn current_state(&self, window: usize) -> Option<MeeState> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let start = self.history.len().saturating_sub(window.max(1));
+        let recent = &self.history[start..];
+        let mut counts = [0usize; MeeState::COUNT];
+        for s in recent {
+            counts[s.index()] += 1;
+        }
+        let best = *counts.iter().max().expect("non-empty");
+        (0..MeeState::COUNT)
+            .filter(|&k| counts[k] == best)
+            .map(MeeState::from_index)
+            .next()
+    }
+
+    /// Trend-based recommendation from the full history.
+    ///
+    /// Requires at least four measurements; compares mean severity over
+    /// the first and second half of the history.
+    pub fn recommendation(&self) -> Recommendation {
+        if self.history.len() < 4 {
+            return Recommendation::InsufficientData;
+        }
+        let sev: Vec<f64> = self.history.iter().map(|s| s.severity() as f64).collect();
+        let half = sev.len() / 2;
+        let early = sev[..half].iter().sum::<f64>() / half as f64;
+        let late = sev[half..].iter().sum::<f64>() / (sev.len() - half) as f64;
+        if late < 0.5 {
+            Recommendation::AllClear
+        } else if late < early - 0.25 {
+            Recommendation::Improving
+        } else {
+            Recommendation::SeekClinicalReview
+        }
+    }
+}
+
+/// Binary (fluid / no fluid) evaluation over four-state predictions — the
+/// task Chan et al. solve and the paper's §I framing. Returns
+/// `(sensitivity, specificity)` of effusion detection.
+pub fn binary_screening_rates(
+    actual: &[MeeState],
+    predicted: &[MeeState],
+) -> Result<(f64, f64), EarSonarError> {
+    if actual.len() != predicted.len() || actual.is_empty() {
+        return Err(EarSonarError::BadRecording {
+            reason: "actual/predicted length mismatch or empty",
+        });
+    }
+    let mut tp = 0usize; // effusion correctly detected
+    let mut fn_ = 0usize;
+    let mut tn = 0usize;
+    let mut fp = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        let a_fluid = a != MeeState::Clear;
+        let p_fluid = p != MeeState::Clear;
+        match (a_fluid, p_fluid) {
+            (true, true) => tp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => tn += 1,
+            (false, true) => fp += 1,
+        }
+    }
+    let sensitivity = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let specificity = if tn + fp == 0 {
+        0.0
+    } else {
+        tn as f64 / (tn + fp) as f64
+    };
+    Ok((sensitivity, specificity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EarSonarConfig;
+    use earsonar_sim::cohort::Cohort;
+    use earsonar_sim::dataset::{Dataset, DatasetSpec};
+    use earsonar_sim::session::{Session, SessionConfig};
+
+    fn trained_system() -> EarSonar {
+        let data = Dataset::build(&Cohort::generate(8, 3), &DatasetSpec::default());
+        EarSonar::fit(&data.sessions, &EarSonarConfig::default()).expect("fit")
+    }
+
+    #[test]
+    fn verdict_collapses_states() {
+        assert_eq!(
+            ScreeningVerdict::from_state(MeeState::Clear),
+            ScreeningVerdict::Clear
+        );
+        let v = ScreeningVerdict::from_state(MeeState::Mucoid);
+        assert!(v.has_effusion());
+        assert!(!ScreeningVerdict::Clear.has_effusion());
+    }
+
+    #[test]
+    fn monitor_tracks_recovery() {
+        let system = trained_system();
+        let mut monitor = HomeScreening::new(system);
+        assert!(monitor.is_empty());
+        assert_eq!(monitor.recommendation(), Recommendation::InsufficientData);
+
+        let cohort = Cohort::generate(6, 55);
+        let child = &cohort.patients()[0];
+        for day in 0..=child.recovery_day() + 2 {
+            let s = Session::record(child, day, &SessionConfig::default(), day as u64);
+            let _ = monitor.record(&s.recording);
+        }
+        assert!(monitor.len() >= 4);
+        // At the end of a full recovery the trend must not demand escalation.
+        let rec = monitor.recommendation();
+        assert!(
+            rec == Recommendation::AllClear || rec == Recommendation::Improving,
+            "{rec:?} after full recovery (history {:?})",
+            monitor.history()
+        );
+        assert_eq!(monitor.current_state(3), Some(MeeState::Clear));
+    }
+
+    #[test]
+    fn persistent_effusion_escalates() {
+        // Synthesize a stuck history directly.
+        let system = trained_system();
+        let mut monitor = HomeScreening::new(system);
+        monitor.history = vec![MeeState::Mucoid; 8];
+        assert_eq!(monitor.recommendation(), Recommendation::SeekClinicalReview);
+    }
+
+    #[test]
+    fn binary_rates_known_case() {
+        use MeeState::*;
+        let actual = [Clear, Clear, Mucoid, Purulent, Serous];
+        let predicted = [Clear, Mucoid, Mucoid, Purulent, Clear];
+        let (sens, spec) = binary_screening_rates(&actual, &predicted).unwrap();
+        assert!((sens - 2.0 / 3.0).abs() < 1e-12);
+        assert!((spec - 0.5).abs() < 1e-12);
+        assert!(binary_screening_rates(&actual, &predicted[..2]).is_err());
+        assert!(binary_screening_rates(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn current_state_uses_recent_window() {
+        let system = trained_system();
+        let mut monitor = HomeScreening::new(system);
+        monitor.history = vec![
+            MeeState::Purulent,
+            MeeState::Purulent,
+            MeeState::Clear,
+            MeeState::Clear,
+            MeeState::Clear,
+        ];
+        assert_eq!(monitor.current_state(3), Some(MeeState::Clear));
+        assert_eq!(monitor.current_state(100), Some(MeeState::Clear));
+    }
+}

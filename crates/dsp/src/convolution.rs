@@ -1,0 +1,167 @@
+//! Linear convolution and auto-convolution.
+//!
+//! The parity-decomposition segmentation of EarSonar (paper §IV-B-3, Eq. 10)
+//! locates echo symmetry centres at the extrema of the signal's
+//! **auto-convolution** `(x * x)[m] = Σ_n x[n] x[m - n]` — note: convolution
+//! with itself, not autocorrelation. Both a direct `O(N·M)` routine and an
+//! FFT-based `O(N log N)` routine are provided; they agree to rounding.
+
+use crate::complex::Complex64;
+use crate::fft::{fft, ifft, next_pow2};
+
+/// Full linear convolution of two real sequences, computed directly.
+///
+/// The output has length `a.len() + b.len() - 1` (empty if either input is
+/// empty). Prefer [`convolve_fft`] for long inputs.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_dsp::convolution::convolve;
+/// assert_eq!(convolve(&[1.0, 2.0], &[1.0, 1.0]), vec![1.0, 3.0, 2.0]);
+/// ```
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Full linear convolution of two real sequences via the FFT.
+///
+/// Matches [`convolve`] up to floating-point rounding but runs in
+/// `O(N log N)`.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let mut fa = vec![Complex64::ZERO; n];
+    let mut fb = vec![Complex64::ZERO; n];
+    for (dst, &src) in fa.iter_mut().zip(a) {
+        *dst = Complex64::from_real(src);
+    }
+    for (dst, &src) in fb.iter_mut().zip(b) {
+        *dst = Complex64::from_real(src);
+    }
+    let fa = fft(&fa);
+    let fb = fft(&fb);
+    let prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    ifft(&prod)[..out_len].iter().map(|z| z.re).collect()
+}
+
+/// Auto-convolution `(x * x)[m]`, the quantity maximized to find the parity
+/// symmetry centre in the paper's echo segmentation (Eq. 10).
+///
+/// Output length is `2 * x.len() - 1`. Index `m` of the output corresponds
+/// to a candidate symmetry point at `m / 2` (half-sample resolution).
+pub fn autoconvolve(x: &[f64]) -> Vec<f64> {
+    if x.len() < 64 {
+        convolve(x, x)
+    } else {
+        convolve_fft(x, x)
+    }
+}
+
+/// Index of the maximum-magnitude entry of the auto-convolution, i.e. the
+/// `2 n0` of Eq. 10 in the paper. Returns `None` for an empty input.
+pub fn autoconvolve_argmax(x: &[f64]) -> Option<usize> {
+    let ac = autoconvolve(x);
+    (0..ac.len()).max_by(|&i, &j| ac[i].abs().total_cmp(&ac[j].abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+        assert!(convolve_fft(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn identity_kernel_preserves_signal() {
+        let x = [3.0, -1.0, 4.0, 1.0, -5.0];
+        assert_eq!(convolve(&x, &[1.0]), x.to_vec());
+    }
+
+    #[test]
+    fn known_small_case() {
+        let y = convolve(&[1.0, 2.0, 3.0], &[0.0, 1.0, 0.5]);
+        assert_eq!(y, vec![0.0, 1.0, 2.5, 4.0, 1.5]);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let b = [0.25, 4.0, -1.0];
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let a: Vec<f64> = (0..137).map(|i| ((i * 13 % 31) as f64) - 15.0).collect();
+        let b: Vec<f64> = (0..83).map(|i| ((i * 7 % 17) as f64) * 0.1).collect();
+        let direct = convolve(&a, &b);
+        let fast = convolve_fft(&a, &b);
+        assert_eq!(direct.len(), fast.len());
+        for (d, f) in direct.iter().zip(&fast) {
+            assert!((d - f).abs() < 1e-8, "{d} vs {f}");
+        }
+    }
+
+    #[test]
+    fn autoconvolution_of_symmetric_signal_peaks_at_centre() {
+        // Even-symmetric signal around index 8 (length 17): the
+        // auto-convolution magnitude must peak at m = 2 * 8 = 16.
+        let x: Vec<f64> = (0..17)
+            .map(|i| {
+                let t = (i as f64 - 8.0) / 3.0;
+                (-t * t).exp()
+            })
+            .collect();
+        assert_eq!(autoconvolve_argmax(&x), Some(16));
+    }
+
+    #[test]
+    fn autoconvolution_of_odd_symmetric_signal_peaks_at_centre() {
+        // Odd-symmetric around index 10: |(x*x)[20]| is maximal too (the
+        // parity decomposition works for either symmetry, per the paper).
+        let x: Vec<f64> = (0..21)
+            .map(|i| {
+                let t = (i as f64 - 10.0) / 4.0;
+                t * (-t * t).exp()
+            })
+            .collect();
+        assert_eq!(autoconvolve_argmax(&x), Some(20));
+    }
+
+    #[test]
+    fn autoconvolve_length() {
+        let x = vec![1.0; 10];
+        assert_eq!(autoconvolve(&x).len(), 19);
+        assert_eq!(autoconvolve_argmax::<>(&[]), None);
+    }
+
+    #[test]
+    fn long_autoconvolution_uses_fft_and_matches_direct() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 31 % 101) as f64) / 50.0 - 1.0).collect();
+        let fast = autoconvolve(&x);
+        let direct = convolve(&x, &x);
+        for (f, d) in fast.iter().zip(&direct) {
+            assert!((f - d).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Correlation measures.
+//!
+//! EarSonar uses correlation twice: the Pearson coefficient quantifies the
+//! session-to-session consistency of eardrum-echo spectra (paper Fig. 9),
+//! and cross-correlation with the transmitted chirp locates echo arrivals.
+
+use crate::error::DspError;
+
+/// Pearson correlation coefficient between two equal-length sequences.
+///
+/// Returns a value in `[-1, 1]`. Sequences with zero variance correlate as
+/// `0.0` with everything (a convention that avoids NaN propagation).
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if the lengths differ and
+/// [`DspError::EmptyInput`] if the sequences are empty.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), earsonar_dsp::DspError> {
+/// use earsonar_dsp::correlation::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0])?;
+/// assert!((r - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Full cross-correlation `r[k] = Σ_n a[n] b[n - (k - (b.len()-1))]` for all
+/// lags, i.e. `convolve(a, reverse(b))`.
+///
+/// Output length is `a.len() + b.len() - 1`; the zero-lag term sits at index
+/// `b.len() - 1`. Empty inputs yield an empty output.
+pub fn cross_correlate(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let reversed: Vec<f64> = b.iter().rev().copied().collect();
+    crate::convolution::convolve_fft(a, &reversed)
+}
+
+/// Lag (in samples) at which `b` best aligns inside `a`, found by maximizing
+/// the cross-correlation. A lag of `d` means `b` matches `a[d..]`.
+///
+/// Returns `None` if either input is empty or longer than `a`.
+pub fn best_alignment(a: &[f64], b: &[f64]) -> Option<usize> {
+    if a.is_empty() || b.is_empty() || b.len() > a.len() {
+        return None;
+    }
+    let xc = cross_correlate(a, b);
+    // Valid lags: template fully inside `a`.
+    let first = b.len() - 1;
+    let last = a.len() - 1;
+    (first..=last)
+        .max_by(|&i, &j| xc[i].total_cmp(&xc[j]))
+        .map(|i| i - first)
+}
+
+/// Normalized cross-correlation of a template against every window of `a`,
+/// returning values in `[-1, 1]` per alignment position.
+///
+/// Output length is `a.len() - b.len() + 1`. Windows or templates with zero
+/// energy produce `0.0`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty, and
+/// [`DspError::InvalidLength`] if the template is longer than the signal.
+pub fn normalized_cross_correlation(a: &[f64], b: &[f64]) -> Result<Vec<f64>, DspError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if b.len() > a.len() {
+        return Err(DspError::InvalidLength {
+            expected: "template no longer than the signal",
+            actual: b.len(),
+        });
+    }
+    let eb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let m = b.len();
+    let mut out = Vec::with_capacity(a.len() - m + 1);
+    for start in 0..=(a.len() - m) {
+        let window = &a[start..start + m];
+        let ea: f64 = window.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if ea == 0.0 || eb == 0.0 {
+            out.push(0.0);
+            continue;
+        }
+        let dot: f64 = window.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        out.push((dot / (ea * eb)).clamp(-1.0, 1.0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let pos: Vec<f64> = a.iter().map(|v| 3.0 * v + 1.0).collect();
+        let neg: Vec<f64> = a.iter().map(|v| -2.0 * v + 7.0).collect();
+        assert!((pearson(&a, &pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero_by_convention() {
+        assert_eq!(pearson(&[5.0; 4], &[1.0, 2.0, 3.0, 4.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_error_cases() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(DspError::LengthMismatch { .. })
+        ));
+        assert!(matches!(pearson(&[], &[]), Err(DspError::EmptyInput)));
+    }
+
+    #[test]
+    fn pearson_is_symmetric() {
+        let a = [0.3, -1.2, 2.2, 0.9, -0.5];
+        let b = [1.1, 0.4, -0.6, 2.0, 0.0];
+        assert!((pearson(&a, &b).unwrap() - pearson(&b, &a).unwrap()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cross_correlation_zero_lag_is_dot_product() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 2.0];
+        let xc = cross_correlate(&a, &b);
+        let dot: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((xc[b.len() - 1] - dot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_alignment_finds_embedded_template() {
+        let template = [1.0, -2.0, 3.0, -1.0];
+        let mut signal = vec![0.0; 64];
+        for (i, &t) in template.iter().enumerate() {
+            signal[37 + i] = t;
+        }
+        assert_eq!(best_alignment(&signal, &template), Some(37));
+    }
+
+    #[test]
+    fn best_alignment_rejects_degenerate_inputs() {
+        assert_eq!(best_alignment(&[], &[1.0]), None);
+        assert_eq!(best_alignment(&[1.0], &[]), None);
+        assert_eq!(best_alignment(&[1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn ncc_peaks_at_one_for_exact_match() {
+        let template = [0.2, -0.7, 1.0, 0.3];
+        let mut signal = vec![0.05; 32];
+        for (i, &t) in template.iter().enumerate() {
+            signal[10 + i] = t;
+        }
+        let ncc = normalized_cross_correlation(&signal, &template).unwrap();
+        let best = (0..ncc.len()).max_by(|&i, &j| ncc[i].total_cmp(&ncc[j])).unwrap();
+        assert_eq!(best, 10);
+        assert!(ncc[10] > 0.999);
+        assert!(ncc.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn ncc_handles_zero_energy_windows() {
+        let signal = [0.0, 0.0, 0.0, 1.0, 2.0];
+        let ncc = normalized_cross_correlation(&signal, &[1.0, 1.0]).unwrap();
+        assert_eq!(ncc[0], 0.0);
+        assert_eq!(ncc.len(), 4);
+    }
+
+    #[test]
+    fn ncc_is_shift_invariant_in_scale() {
+        let template = [1.0, 2.0, 1.0];
+        let signal: Vec<f64> = [0.0, 5.0, 10.0, 5.0, 0.0].to_vec();
+        let ncc = normalized_cross_correlation(&signal, &template).unwrap();
+        // The scaled copy at offset 1 correlates perfectly.
+        assert!(ncc[1] > 0.999);
+    }
+}

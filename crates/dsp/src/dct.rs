@@ -1,0 +1,130 @@
+//! Discrete cosine transform (type II).
+//!
+//! The final stage of MFCC extraction (paper §IV-C-2) applies a DCT to the
+//! log mel-band energies. The direct `O(N^2)` formulation is used — MFCC
+//! inputs are a few dozen bands, far below the FFT crossover.
+
+use std::f64::consts::PI;
+
+/// DCT-II of `x`:
+///
+/// ```text
+/// X[k] = Σ_{n=0}^{N-1} x[n] cos(pi/N * (n + 1/2) * k)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use earsonar_dsp::dct::dct2;
+/// // DCT of a constant signal concentrates in the DC coefficient.
+/// let y = dct2(&[1.0, 1.0, 1.0, 1.0]);
+/// assert!((y[0] - 4.0).abs() < 1e-12);
+/// assert!(y[1..].iter().all(|&v| v.abs() < 1e-12));
+/// ```
+pub fn dct2(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| v * (PI / n as f64 * (i as f64 + 0.5) * k as f64).cos())
+                .sum()
+        })
+        .collect()
+}
+
+/// Orthonormal DCT-II (scaled so the transform matrix is orthogonal), the
+/// convention most MFCC implementations use.
+pub fn dct2_orthonormal(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut y = dct2(x);
+    let s0 = (1.0 / n as f64).sqrt();
+    let s = (2.0 / n as f64).sqrt();
+    y[0] *= s0;
+    for v in y.iter_mut().skip(1) {
+        *v *= s;
+    }
+    y
+}
+
+/// DCT-III (the inverse of the orthonormal DCT-II).
+pub fn dct3_orthonormal(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s0 = (1.0 / n as f64).sqrt();
+    let s = (2.0 / n as f64).sqrt();
+    (0..n)
+        .map(|i| {
+            let mut acc = s0 * x[0];
+            for (k, &v) in x.iter().enumerate().skip(1) {
+                acc += s * v * (PI / n as f64 * (i as f64 + 0.5) * k as f64).cos();
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(dct2(&[]).is_empty());
+        assert!(dct2_orthonormal(&[]).is_empty());
+        assert!(dct3_orthonormal(&[]).is_empty());
+    }
+
+    #[test]
+    fn orthonormal_round_trip() {
+        let x = [0.5, -1.0, 2.0, 3.0, -0.25, 1.5];
+        let y = dct3_orthonormal(&dct2_orthonormal(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthonormal_preserves_energy() {
+        let x = [1.0, 2.0, -3.0, 4.0, 0.0, -1.0, 2.5, 3.5];
+        let y = dct2_orthonormal(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ex - ey).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cosine_input_concentrates_in_matching_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (PI / n as f64 * (i as f64 + 0.5) * k0 as f64).cos())
+            .collect();
+        let y = dct2(&x);
+        let arg = (0..n).max_by(|&a, &b| y[a].abs().total_cmp(&y[b].abs())).unwrap();
+        assert_eq!(arg, k0);
+        // The matching bin carries n/2 by the half-sample orthogonality.
+        assert!((y[k0] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dct_is_linear() {
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let b = [0.25, 4.0, -1.0, 2.0];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let da = dct2(&a);
+        let db = dct2(&b);
+        let dsum = dct2(&sum);
+        for k in 0..4 {
+            assert!((dsum[k] - (da[k] + db[k])).abs() < 1e-12);
+        }
+    }
+}

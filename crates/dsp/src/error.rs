@@ -1,0 +1,84 @@
+//! Error type shared by the DSP kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible DSP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The input slice was empty where a non-empty signal is required.
+    EmptyInput,
+    /// The input length does not satisfy a structural requirement
+    /// (for example, a radix-2 FFT needs a power-of-two length).
+    InvalidLength {
+        /// What the operation expected of the length.
+        expected: &'static str,
+        /// The length that was actually supplied.
+        actual: usize,
+    },
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+            DspError::InvalidLength { expected, actual } => {
+                write!(f, "invalid input length {actual}: expected {expected}")
+            }
+            DspError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            DspError::LengthMismatch { left, right } => {
+                write!(f, "input lengths differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DspError::InvalidLength {
+            expected: "a power of two",
+            actual: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7'));
+        assert!(msg.contains("power of two"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        assert_eq!(DspError::EmptyInput, DspError::EmptyInput);
+        assert_ne!(
+            DspError::EmptyInput,
+            DspError::LengthMismatch { left: 1, right: 2 }
+        );
+    }
+}

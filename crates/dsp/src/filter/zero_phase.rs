@@ -1,0 +1,163 @@
+//! Zero-phase (forward–backward) filtering.
+//!
+//! Running an IIR filter forward and then backward over a signal cancels the
+//! phase distortion and squares the magnitude response. Echo timing matters
+//! to EarSonar's segmentation stage, so zero-phase filtering keeps the
+//! eardrum-echo peak where it belongs.
+
+use crate::error::DspError;
+use crate::filter::biquad::BiquadCascade;
+
+/// Applies `filter` forward and backward over `signal` (filtfilt).
+///
+/// The effective magnitude response is `|H|^2` and the phase response is
+/// zero. Edge transients are reduced by reflecting `pad` samples of the
+/// signal at each end before filtering (a common filtfilt trick); `pad` is
+/// clamped to `signal.len() - 1`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `signal` is empty.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), earsonar_dsp::DspError> {
+/// use earsonar_dsp::filter::{butter_lowpass, filtfilt};
+/// let f = butter_lowpass(2, 4_000.0, 48_000.0)?;
+/// let x = vec![1.0; 256];
+/// let y = filtfilt(&f, &x, 32)?;
+/// // A constant signal passes a low-pass filter unchanged (steady state).
+/// assert!((y[128] - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn filtfilt(
+    filter: &BiquadCascade,
+    signal: &[f64],
+    pad: usize,
+) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = signal.len();
+    let pad = pad.min(n - 1);
+
+    // Odd (anti-symmetric) reflection padding, as used by scipy's filtfilt:
+    // it preserves signal level and slope at the boundaries.
+    let mut extended = Vec::with_capacity(n + 2 * pad);
+    for i in (1..=pad).rev() {
+        extended.push(2.0 * signal[0] - signal[i]);
+    }
+    extended.extend_from_slice(signal);
+    for i in (n - 1 - pad..n - 1).rev() {
+        extended.push(2.0 * signal[n - 1] - signal[i]);
+    }
+
+    let mut fwd_filter = filter.clone();
+    fwd_filter.reset();
+    let mut forward = fwd_filter.process(&extended);
+
+    forward.reverse();
+    let mut bwd_filter = filter.clone();
+    bwd_filter.reset();
+    let mut backward = bwd_filter.process(&forward);
+    backward.reverse();
+
+    Ok(backward[pad..pad + n].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::butterworth::{butter_bandpass, butter_lowpass};
+    use std::f64::consts::PI;
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let f = butter_lowpass(2, 1_000.0, 48_000.0).unwrap();
+        assert!(matches!(filtfilt(&f, &[], 8), Err(DspError::EmptyInput)));
+    }
+
+    #[test]
+    fn constant_signal_survives_lowpass() {
+        let f = butter_lowpass(4, 2_000.0, 48_000.0).unwrap();
+        let x = vec![3.5; 512];
+        let y = filtfilt(&f, &x, 64).unwrap();
+        for &v in &y[64..448] {
+            assert!((v - 3.5).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn zero_phase_preserves_peak_position() {
+        let fs = 48_000.0;
+        let n = 2048;
+        // A Gaussian-enveloped 18 kHz burst centred at sample 1024.
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 - 1024.0) / 64.0;
+                (-t * t).exp() * (2.0 * PI * 18_000.0 * i as f64 / fs).sin()
+            })
+            .collect();
+        let f = butter_bandpass(4, 16_000.0, 20_000.0, fs).unwrap();
+        let y = filtfilt(&f, &x, 128).unwrap();
+        let env_peak = |sig: &[f64]| -> usize {
+            // Peak of a smoothed absolute envelope.
+            let w = 48usize;
+            (0..sig.len() - w)
+                .max_by(|&a, &b| {
+                    let ea: f64 = sig[a..a + w].iter().map(|v| v * v).sum();
+                    let eb: f64 = sig[b..b + w].iter().map(|v| v * v).sum();
+                    ea.total_cmp(&eb)
+                })
+                .unwrap()
+        };
+        let px = env_peak(&x);
+        let py = env_peak(&y);
+        assert!(
+            (px as isize - py as isize).abs() <= 8,
+            "peak moved from {px} to {py}"
+        );
+    }
+
+    #[test]
+    fn magnitude_response_is_squared() {
+        let fs = 48_000.0;
+        let n = 8192;
+        let f = butter_bandpass(2, 16_000.0, 20_000.0, fs).unwrap();
+        // Probe with a mid-band tone and an out-of-band tone.
+        for (freq, _) in [(18_000.0, 1.0), (8_000.0, 0.0)] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+                .collect();
+            let y = filtfilt(&f, &x, 256).unwrap();
+            let mid = n / 4..3 * n / 4;
+            let rms_y = (mid.clone().map(|i| y[i] * y[i]).sum::<f64>()
+                / mid.len() as f64)
+                .sqrt();
+            let single = f.magnitude_at(freq, fs);
+            let expect = single * single * std::f64::consts::FRAC_1_SQRT_2;
+            assert!(
+                (rms_y - expect).abs() < 0.05,
+                "freq {freq}: rms {rms_y} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pad_larger_than_signal_is_clamped() {
+        let f = butter_lowpass(2, 2_000.0, 48_000.0).unwrap();
+        let x = vec![1.0; 16];
+        let y = filtfilt(&f, &x, 1_000).unwrap();
+        assert_eq!(y.len(), 16);
+    }
+
+    #[test]
+    fn single_sample_signal_works() {
+        let f = butter_lowpass(2, 2_000.0, 48_000.0).unwrap();
+        let y = filtfilt(&f, &[2.0], 8).unwrap();
+        assert_eq!(y.len(), 1);
+        assert!(y[0].is_finite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Interpolation and resampling.
+//!
+//! The absorption analysis interpolates echo spectra onto a common grid
+//! before FFT post-processing (paper §IV-C-1, "we perform FFT processing on
+//! the interpolated signal").
+
+/// Linear interpolation of samples `(xs, ys)` at query points `qs`.
+///
+/// `xs` must be sorted ascending. Queries outside the range are clamped to
+/// the boundary values. Empty inputs yield zeros.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_dsp::interp::interp_linear;
+/// let y = interp_linear(&[0.0, 1.0, 2.0], &[0.0, 10.0, 20.0], &[0.5, 1.5]);
+/// assert_eq!(y, vec![5.0, 15.0]);
+/// ```
+pub fn interp_linear(xs: &[f64], ys: &[f64], qs: &[f64]) -> Vec<f64> {
+    let n = xs.len().min(ys.len());
+    if n == 0 {
+        return vec![0.0; qs.len()];
+    }
+    if n == 1 {
+        return vec![ys[0]; qs.len()];
+    }
+    qs.iter()
+        .map(|&q| {
+            if q <= xs[0] {
+                return ys[0];
+            }
+            if q >= xs[n - 1] {
+                return ys[n - 1];
+            }
+            // Binary search for the bracketing interval.
+            let idx = match xs[..n].binary_search_by(|v| v.total_cmp(&q)) {
+                Ok(i) => return ys[i],
+                Err(i) => i,
+            };
+            let (x0, x1) = (xs[idx - 1], xs[idx]);
+            let (y0, y1) = (ys[idx - 1], ys[idx]);
+            let t = if x1 > x0 { (q - x0) / (x1 - x0) } else { 0.0 };
+            y0 + t * (y1 - y0)
+        })
+        .collect()
+}
+
+/// Catmull–Rom cubic interpolation at query points `qs` over uniformly
+/// conceptually spaced knots `(xs, ys)` (xs sorted ascending, clamped ends).
+pub fn interp_catmull_rom(xs: &[f64], ys: &[f64], qs: &[f64]) -> Vec<f64> {
+    let n = xs.len().min(ys.len());
+    if n < 3 {
+        return interp_linear(xs, ys, qs);
+    }
+    // Virtual knots beyond the ends are linearly extrapolated so the spline
+    // reproduces linear data exactly, boundaries included.
+    let at = |i: isize| -> f64 {
+        if i < 0 {
+            2.0 * ys[0] - ys[(-i) as usize % n]
+        } else if i as usize >= n {
+            let over = i as usize - (n - 1);
+            2.0 * ys[n - 1] - ys[n - 1 - over.min(n - 1)]
+        } else {
+            ys[i as usize]
+        }
+    };
+    qs.iter()
+        .map(|&q| {
+            if q <= xs[0] {
+                return ys[0];
+            }
+            if q >= xs[n - 1] {
+                return ys[n - 1];
+            }
+            let idx = match xs[..n].binary_search_by(|v| v.total_cmp(&q)) {
+                Ok(i) => return ys[i],
+                Err(i) => i - 1,
+            };
+            let (x0, x1) = (xs[idx], xs[idx + 1]);
+            let t = if x1 > x0 { (q - x0) / (x1 - x0) } else { 0.0 };
+            let (p0, p1, p2, p3) = (
+                at(idx as isize - 1),
+                at(idx as isize),
+                at(idx as isize + 1),
+                at(idx as isize + 2),
+            );
+            let t2 = t * t;
+            let t3 = t2 * t;
+            0.5 * ((2.0 * p1)
+                + (-p0 + p2) * t
+                + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t2
+                + (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t3)
+        })
+        .collect()
+}
+
+/// Resamples `ys` (assumed uniformly spaced) to `n_out` uniformly spaced
+/// points over the same span, using linear interpolation.
+pub fn resample_uniform(ys: &[f64], n_out: usize) -> Vec<f64> {
+    let n = ys.len();
+    if n == 0 || n_out == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![ys[0]; n_out];
+    }
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let qs: Vec<f64> = (0..n_out)
+        .map(|i| (n - 1) as f64 * i as f64 / (n_out - 1).max(1) as f64)
+        .collect();
+    interp_linear(&xs, ys, &qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_knots_exactly() {
+        let xs = [0.0, 1.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 5.0, 0.0];
+        let out = interp_linear(&xs, &ys, &xs);
+        assert_eq!(out, ys.to_vec());
+    }
+
+    #[test]
+    fn linear_midpoints() {
+        let y = interp_linear(&[0.0, 2.0], &[0.0, 4.0], &[1.0]);
+        assert_eq!(y, vec![2.0]);
+    }
+
+    #[test]
+    fn linear_clamps_out_of_range() {
+        let y = interp_linear(&[1.0, 2.0], &[10.0, 20.0], &[0.0, 3.0]);
+        assert_eq!(y, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn linear_empty_and_singleton() {
+        assert_eq!(interp_linear(&[], &[], &[1.0, 2.0]), vec![0.0, 0.0]);
+        assert_eq!(interp_linear(&[5.0], &[7.0], &[0.0, 9.0]), vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn catmull_rom_reproduces_linear_data() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let qs = [0.5, 3.25, 7.75];
+        let out = interp_catmull_rom(&xs, &ys, &qs);
+        for (q, o) in qs.iter().zip(&out) {
+            assert!((o - (2.0 * q + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn catmull_rom_is_smooth_on_curved_data() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x / 3.0).sin()).collect();
+        let qs = [4.5, 10.5];
+        let cubic = interp_catmull_rom(&xs, &ys, &qs);
+        for (q, c) in qs.iter().zip(&cubic) {
+            assert!((c - (q / 3.0).sin()).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn resample_uniform_preserves_endpoints() {
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let out = resample_uniform(&ys, 9);
+        assert_eq!(out.len(), 9);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[8], 5.0);
+        assert_eq!(out[4], 3.0);
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        assert!(resample_uniform(&[], 5).is_empty());
+        assert!(resample_uniform(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(resample_uniform(&[3.0], 3), vec![3.0, 3.0, 3.0]);
+    }
+}

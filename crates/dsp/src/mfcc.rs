@@ -1,0 +1,311 @@
+//! Mel-frequency cepstral coefficients.
+//!
+//! "In order to obtain the MFCC of the MEE signal, we first need to perform
+//! fast Fourier processing on the segmented eardrum echo …, then split the
+//! frequency-domain signal into multiple smaller frequency bins and use a
+//! triangular filter on each bin …, finally a discrete cosine transform is
+//! used" (paper §IV-C-2). This module implements exactly that chain for a
+//! single echo segment, plus framed extraction for longer signals.
+
+use crate::dct::dct2_orthonormal;
+use crate::error::DspError;
+use crate::fft::{fft_real_padded, next_pow2};
+use crate::mel::MelFilterBank;
+use crate::window::Window;
+
+/// Floor applied before the log to keep silent bands finite.
+const LOG_FLOOR: f64 = 1e-12;
+
+/// Configuration for MFCC extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfccConfig {
+    /// Sample rate in hertz.
+    pub sample_rate: f64,
+    /// FFT size (rounded up to a power of two internally).
+    pub n_fft: usize,
+    /// Number of triangular mel filters.
+    pub n_filters: usize,
+    /// Number of cepstral coefficients to keep (`<= n_filters`).
+    pub n_coeffs: usize,
+    /// Lower edge of the analysis band in hertz.
+    pub f_min: f64,
+    /// Upper edge of the analysis band in hertz.
+    pub f_max: f64,
+    /// Taper applied to each frame before the FFT.
+    pub window: Window,
+}
+
+impl MfccConfig {
+    /// The EarSonar defaults: 48 kHz sampling, the 16–20 kHz chirp band,
+    /// 26 mel filters and 13 cepstral coefficients over a 512-point FFT.
+    pub fn earsonar_default() -> Self {
+        MfccConfig {
+            sample_rate: 48_000.0,
+            n_fft: 512,
+            n_filters: 26,
+            n_coeffs: 13,
+            f_min: 16_000.0,
+            f_max: 20_000.0,
+            window: Window::Hann,
+        }
+    }
+}
+
+impl Default for MfccConfig {
+    fn default() -> Self {
+        Self::earsonar_default()
+    }
+}
+
+/// An MFCC extractor with a pre-built filterbank.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), earsonar_dsp::DspError> {
+/// use earsonar_dsp::mfcc::{MfccConfig, MfccExtractor};
+/// let extractor = MfccExtractor::new(MfccConfig::earsonar_default())?;
+/// let frame: Vec<f64> = (0..512)
+///     .map(|i| (2.0 * std::f64::consts::PI * 18_000.0 * i as f64 / 48_000.0).sin())
+///     .collect();
+/// let coeffs = extractor.extract(&frame)?;
+/// assert_eq!(coeffs.len(), 13);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    config: MfccConfig,
+    bank: MelFilterBank,
+    n_fft: usize,
+}
+
+impl MfccExtractor {
+    /// Builds the extractor, constructing the mel filterbank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `n_coeffs` is zero or
+    /// exceeds `n_filters`, or if the filterbank parameters are invalid.
+    pub fn new(config: MfccConfig) -> Result<Self, DspError> {
+        if config.n_coeffs == 0 || config.n_coeffs > config.n_filters {
+            return Err(DspError::InvalidParameter {
+                name: "n_coeffs",
+                constraint: "must satisfy 1 <= n_coeffs <= n_filters",
+            });
+        }
+        let n_fft = next_pow2(config.n_fft.max(4));
+        let bank = MelFilterBank::new(
+            config.n_filters,
+            n_fft,
+            config.sample_rate,
+            config.f_min,
+            config.f_max,
+        )?;
+        Ok(MfccExtractor {
+            config,
+            bank,
+            n_fft,
+        })
+    }
+
+    /// The configuration this extractor was built with.
+    pub fn config(&self) -> &MfccConfig {
+        &self.config
+    }
+
+    /// The number of coefficients produced per frame.
+    pub fn n_coeffs(&self) -> usize {
+        self.config.n_coeffs
+    }
+
+    /// Extracts MFCCs from one signal segment (windowed, zero-padded or
+    /// truncated to the FFT size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if the segment is empty.
+    pub fn extract(&self, segment: &[f64]) -> Result<Vec<f64>, DspError> {
+        if segment.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let take = segment.len().min(self.n_fft);
+        let frame = self.config.window.apply(&segment[..take]);
+        let spec = fft_real_padded(&frame, self.n_fft);
+        let n_bins = self.n_fft / 2 + 1;
+        let power: Vec<f64> = spec[..n_bins]
+            .iter()
+            .map(|z| z.norm_sqr() / self.n_fft as f64)
+            .collect();
+        let mel_energies = self.bank.apply(&power)?;
+        let log_energies: Vec<f64> = mel_energies
+            .iter()
+            .map(|&e| (e.max(LOG_FLOOR)).ln())
+            .collect();
+        let cepstrum = dct2_orthonormal(&log_energies);
+        Ok(cepstrum[..self.config.n_coeffs].to_vec())
+    }
+
+    /// Extracts MFCCs for consecutive frames of `frame_len` samples advanced
+    /// by `hop` samples, returning one coefficient vector per frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `frame_len == 0` or
+    /// `hop == 0`, and [`DspError::EmptyInput`] for an empty signal.
+    pub fn extract_frames(
+        &self,
+        signal: &[f64],
+        frame_len: usize,
+        hop: usize,
+    ) -> Result<Vec<Vec<f64>>, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if frame_len == 0 || hop == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "frame_len/hop",
+                constraint: "must both be positive",
+            });
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + frame_len <= signal.len() {
+            out.push(self.extract(&signal[start..start + frame_len])?);
+            start += hop;
+        }
+        Ok(out)
+    }
+
+    /// Mean MFCC vector over all frames — the per-recording aggregation the
+    /// EarSonar feature stage uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`MfccExtractor::extract_frames`]; returns
+    /// [`DspError::InvalidLength`] if no complete frame fits.
+    pub fn extract_mean(
+        &self,
+        signal: &[f64],
+        frame_len: usize,
+        hop: usize,
+    ) -> Result<Vec<f64>, DspError> {
+        let frames = self.extract_frames(signal, frame_len, hop)?;
+        if frames.is_empty() {
+            return Err(DspError::InvalidLength {
+                expected: "at least one complete frame",
+                actual: signal.len(),
+            });
+        }
+        let n = self.config.n_coeffs;
+        let mut acc = vec![0.0; n];
+        for f in &frames {
+            for (a, &v) in acc.iter_mut().zip(f) {
+                *a += v;
+            }
+        }
+        let count = frames.len() as f64;
+        for a in &mut acc {
+            *a /= count;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(f: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * f * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = MfccConfig::earsonar_default();
+        cfg.n_coeffs = 0;
+        assert!(MfccExtractor::new(cfg.clone()).is_err());
+        cfg.n_coeffs = 40;
+        cfg.n_filters = 26;
+        assert!(MfccExtractor::new(cfg).is_err());
+    }
+
+    #[test]
+    fn extract_produces_requested_count() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let c = ex.extract(&tone(18_000.0, 48_000.0, 512)).unwrap();
+        assert_eq!(c.len(), 13);
+        assert!(c.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_segment_is_rejected() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        assert!(matches!(ex.extract(&[]), Err(DspError::EmptyInput)));
+    }
+
+    #[test]
+    fn different_tones_give_different_mfccs() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let a = ex.extract(&tone(16_500.0, 48_000.0, 512)).unwrap();
+        let b = ex.extract(&tone(19_500.0, 48_000.0, 512)).unwrap();
+        let dist: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "MFCCs should separate distinct tones: {dist}");
+    }
+
+    #[test]
+    fn mfcc_is_amplitude_shift_in_c0_only_approximately() {
+        // Doubling amplitude adds a constant to the log energies, which the
+        // orthonormal DCT maps into coefficient 0 — higher coefficients are
+        // (nearly) invariant.
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let x = tone(18_000.0, 48_000.0, 512);
+        let x2: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        let a = ex.extract(&x).unwrap();
+        let b = ex.extract(&x2).unwrap();
+        for k in 1..13 {
+            assert!((a[k] - b[k]).abs() < 1e-6, "coeff {k} moved");
+        }
+        assert!(b[0] > a[0]);
+    }
+
+    #[test]
+    fn framed_extraction_counts_frames() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let x = tone(17_000.0, 48_000.0, 2048);
+        let frames = ex.extract_frames(&x, 512, 256).unwrap();
+        assert_eq!(frames.len(), (2048 - 512) / 256 + 1);
+    }
+
+    #[test]
+    fn framed_extraction_validates_params() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        assert!(ex.extract_frames(&[1.0; 100], 0, 10).is_err());
+        assert!(ex.extract_frames(&[1.0; 100], 10, 0).is_err());
+        assert!(ex.extract_frames(&[], 10, 10).is_err());
+    }
+
+    #[test]
+    fn mean_mfcc_of_stationary_signal_matches_single_frame() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let x = tone(18_000.0, 48_000.0, 4096);
+        let mean = ex.extract_mean(&x, 512, 512).unwrap();
+        let single = ex.extract(&x[..512]).unwrap();
+        // Stationary tone: every frame is near-identical up to phase.
+        for (m, s) in mean.iter().zip(&single) {
+            assert!((m - s).abs() < 0.5, "{m} vs {s}");
+        }
+    }
+
+    #[test]
+    fn mean_requires_one_full_frame() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        assert!(ex.extract_mean(&[0.0; 100], 512, 512).is_err());
+    }
+}

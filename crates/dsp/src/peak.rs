@@ -1,0 +1,159 @@
+//! Peak detection.
+//!
+//! The absorption analysis centres its FFT window on "the peak sampling
+//! point of the eardrum" echo (paper §IV-C-1); this module provides general
+//! peak finding with height and minimum-separation constraints.
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the peak.
+    pub index: usize,
+    /// Signal value at the peak.
+    pub height: f64,
+}
+
+/// Finds local maxima of `x` that are at least `min_height` tall and at
+/// least `min_distance` samples apart. When two peaks are closer than
+/// `min_distance`, the taller one wins.
+///
+/// A sample is a local maximum if it is strictly greater than its left
+/// neighbour and at least as large as its right neighbour (plateaus resolve
+/// to their left edge). Endpoints are not peaks.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_dsp::peak::find_peaks;
+/// let x = [0.0, 1.0, 0.0, 3.0, 0.0, 2.0, 0.0];
+/// let peaks = find_peaks(&x, 0.5, 1);
+/// let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+/// assert_eq!(idx, vec![1, 3, 5]);
+/// ```
+pub fn find_peaks(x: &[f64], min_height: f64, min_distance: usize) -> Vec<Peak> {
+    let n = x.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<Peak> = Vec::new();
+    for i in 1..n - 1 {
+        if x[i] > x[i - 1] && x[i] >= x[i + 1] && x[i] >= min_height {
+            candidates.push(Peak {
+                index: i,
+                height: x[i],
+            });
+        }
+    }
+    if min_distance <= 1 || candidates.len() <= 1 {
+        return candidates;
+    }
+    // Greedy tallest-first suppression.
+    let mut by_height = candidates.clone();
+    by_height.sort_by(|a, b| b.height.total_cmp(&a.height));
+    let mut kept: Vec<Peak> = Vec::new();
+    for c in by_height {
+        if kept
+            .iter()
+            .all(|k| k.index.abs_diff(c.index) >= min_distance)
+        {
+            kept.push(c);
+        }
+    }
+    kept.sort_by_key(|p| p.index);
+    kept
+}
+
+/// The tallest peak of `x`, if any (no height or distance constraint beyond
+/// being a local maximum).
+pub fn highest_peak(x: &[f64]) -> Option<Peak> {
+    find_peaks(x, f64::NEG_INFINITY, 1)
+        .into_iter()
+        .max_by(|a, b| a.height.total_cmp(&b.height))
+}
+
+/// Finds the peak of the *envelope* (moving RMS over `window` samples) of an
+/// oscillatory signal — robust localization for band-pass bursts like chirp
+/// echoes. Returns the centre index of the highest-energy window.
+pub fn envelope_peak(x: &[f64], window: usize) -> Option<usize> {
+    let n = x.len();
+    let w = window.max(1);
+    if n < w {
+        return None;
+    }
+    // Sliding sum of squares in O(n).
+    let mut acc: f64 = x[..w].iter().map(|v| v * v).sum();
+    let mut best = acc;
+    let mut best_start = 0usize;
+    for start in 1..=(n - w) {
+        acc += x[start + w - 1] * x[start + w - 1] - x[start - 1] * x[start - 1];
+        if acc > best {
+            best = acc;
+            best_start = start;
+        }
+    }
+    Some(best_start + w / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_peaks_in_short_or_monotone_signals() {
+        assert!(find_peaks(&[1.0, 2.0], 0.0, 1).is_empty());
+        assert!(find_peaks(&[1.0, 2.0, 3.0, 4.0], f64::NEG_INFINITY, 1).is_empty());
+    }
+
+    #[test]
+    fn height_threshold_filters() {
+        let x = [0.0, 1.0, 0.0, 3.0, 0.0];
+        let peaks = find_peaks(&x, 2.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+        assert_eq!(peaks[0].height, 3.0);
+    }
+
+    #[test]
+    fn distance_suppression_keeps_tallest() {
+        let x = [0.0, 2.0, 1.5, 3.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, 0.0, 3);
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        // Peaks at 1 and 3 conflict; 3 (height 3.0) wins. Peak at 7 stands.
+        assert_eq!(idx, vec![3, 7]);
+    }
+
+    #[test]
+    fn plateau_resolves_to_left_edge() {
+        let x = [0.0, 1.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, 0.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 1);
+    }
+
+    #[test]
+    fn highest_peak_picks_global() {
+        let x = [0.0, 2.0, 0.0, 5.0, 0.0, 3.0, 0.0];
+        assert_eq!(highest_peak(&x).unwrap().index, 3);
+        assert_eq!(highest_peak(&[1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn envelope_peak_locates_burst() {
+        let n = 1024;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 - 700.0) / 40.0;
+                (-t * t).exp() * (0.9 * i as f64).sin()
+            })
+            .collect();
+        let p = envelope_peak(&x, 64).unwrap();
+        assert!((p as isize - 700).abs() < 40, "envelope peak at {p}");
+    }
+
+    #[test]
+    fn envelope_peak_degenerate() {
+        assert_eq!(envelope_peak(&[], 8), None);
+        assert_eq!(envelope_peak(&[1.0, 2.0], 8), None);
+        assert!(envelope_peak(&[1.0; 16], 8).is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! Sequence smoothing.
+//!
+//! Spectral profiles and screening histories both benefit from light
+//! smoothing before thresholding; these are the standard tools.
+
+/// Centred moving average with window `w` (odd windows are symmetric;
+/// edges shrink the window rather than zero-pad). `w == 0` returns the
+/// input unchanged.
+pub fn moving_average(x: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || x.is_empty() {
+        return x.to_vec();
+    }
+    let half = w / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            x[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Centred moving median with window `w` — robust to spikes.
+pub fn moving_median(x: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || x.is_empty() {
+        return x.to_vec();
+    }
+    let half = w / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            let mut win: Vec<f64> = x[lo..hi].to_vec();
+            win.sort_by(f64::total_cmp);
+            let n = win.len();
+            if n % 2 == 1 {
+                win[n / 2]
+            } else {
+                0.5 * (win[n / 2 - 1] + win[n / 2])
+            }
+        })
+        .collect()
+}
+
+/// Single-pole exponential smoothing `y[n] = α x[n] + (1-α) y[n-1]`,
+/// `α ∈ (0, 1]`; `α = 1` is the identity.
+///
+/// # Panics
+///
+/// Panics in debug builds if `alpha` is outside `(0, 1]`.
+pub fn exponential(x: &[f64], alpha: f64) -> Vec<f64> {
+    debug_assert!(alpha > 0.0 && alpha <= 1.0);
+    let mut y = Vec::with_capacity(x.len());
+    let mut state = match x.first() {
+        Some(&v) => v,
+        None => return y,
+    };
+    for &v in x {
+        state = alpha * v + (1.0 - alpha) * state;
+        y.push(state);
+    }
+    y
+}
+
+/// Removes the best-fit line from `x` (least squares), returning the
+/// residual — classic detrending before spectral analysis.
+pub fn detrend_linear(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let nf = n as f64;
+    let t_mean = (nf - 1.0) / 2.0;
+    let x_mean = x.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        let dt = i as f64 - t_mean;
+        num += dt * (v - x_mean);
+        den += dt * dt;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| v - (x_mean + slope * (i as f64 - t_mean)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flattens_constant() {
+        let x = vec![2.0; 10];
+        assert_eq!(moving_average(&x, 5), x);
+    }
+
+    #[test]
+    fn moving_average_reduces_variance() {
+        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = moving_average(&x, 5);
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|a| (a - m) * (a - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&y) < 0.2 * var(&x));
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let x = vec![1.0, 5.0, -2.0];
+        assert_eq!(moving_average(&x, 1), x);
+        assert_eq!(moving_median(&x, 1), x);
+    }
+
+    #[test]
+    fn median_rejects_single_spike() {
+        let mut x = vec![1.0; 21];
+        x[10] = 100.0;
+        let y = moving_median(&x, 5);
+        assert!((y[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_window_interpolates() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = moving_median(&x, 2);
+        // half = 1, so windows span up to 3 elements; the leading edge
+        // covers [1, 2] and interpolates.
+        assert_eq!(y[0], 1.5);
+        assert_eq!(y[1], 2.0);
+    }
+
+    #[test]
+    fn exponential_converges_to_constant() {
+        let x = vec![5.0; 50];
+        let y = exponential(&x, 0.3);
+        assert!((y[49] - 5.0).abs() < 1e-9);
+        assert!(exponential(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn exponential_alpha_one_is_identity() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(exponential(&x, 1.0), x);
+    }
+
+    #[test]
+    fn detrend_removes_pure_line() {
+        let x: Vec<f64> = (0..32).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let y = detrend_linear(&x);
+        assert!(y.iter().all(|v| v.abs() < 1e-9));
+        assert_eq!(detrend_linear(&[1.0]), vec![0.0]);
+        assert!(detrend_linear(&[]).is_empty());
+    }
+
+    #[test]
+    fn detrend_preserves_oscillation() {
+        let x: Vec<f64> = (0..64)
+            .map(|i| 0.1 * i as f64 + (i as f64 * 0.7).sin())
+            .collect();
+        let y = detrend_linear(&x);
+        // The sine survives: its energy is mostly intact.
+        let e: f64 = y.iter().map(|v| v * v).sum::<f64>() / 64.0;
+        assert!(e > 0.3, "energy {e}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Minimal WAV (RIFF/PCM) reading and writing.
+//!
+//! EarSonar's deployment story is "record with the earphone, process on the
+//! phone": recordings arrive as audio files. This module reads and writes
+//! mono PCM WAV — 16-bit integer and 32-bit float — with no dependencies,
+//! so simulated sessions can be exported for listening/inspection and real
+//! captures can be fed to the pipeline.
+
+use crate::error::DspError;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A mono audio buffer with its sample rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavAudio {
+    /// Samples in `[-1, 1]` (float) or as converted from PCM16.
+    pub samples: Vec<f64>,
+    /// Sample rate in hertz.
+    pub sample_rate: u32,
+}
+
+/// Sample encodings supported by [`write_wav`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WavFormat {
+    /// 16-bit signed integer PCM (format tag 1).
+    Pcm16,
+    /// 32-bit IEEE float (format tag 3).
+    Float32,
+}
+
+/// Writes mono audio to a WAV file. Samples are clamped to `[-1, 1]` for
+/// PCM16.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for empty audio and
+/// [`DspError::InvalidParameter`] for a zero sample rate or I/O failure
+/// (the message names the path).
+pub fn write_wav(
+    path: impl AsRef<Path>,
+    audio: &WavAudio,
+    format: WavFormat,
+) -> Result<(), DspError> {
+    if audio.samples.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if audio.sample_rate == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "sample_rate",
+            constraint: "must be positive",
+        });
+    }
+    let (tag, bits): (u16, u16) = match format {
+        WavFormat::Pcm16 => (1, 16),
+        WavFormat::Float32 => (3, 32),
+    };
+    let bytes_per_sample = (bits / 8) as u32;
+    let data_len = audio.samples.len() as u32 * bytes_per_sample;
+    let byte_rate = audio.sample_rate * bytes_per_sample;
+    let block_align = bytes_per_sample as u16;
+
+    let mut out: Vec<u8> = Vec::with_capacity(44 + data_len as usize);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_len).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&audio.sample_rate.to_le_bytes());
+    out.extend_from_slice(&byte_rate.to_le_bytes());
+    out.extend_from_slice(&block_align.to_le_bytes());
+    out.extend_from_slice(&bits.to_le_bytes());
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&data_len.to_le_bytes());
+    match format {
+        WavFormat::Pcm16 => {
+            for &s in &audio.samples {
+                let v = (s.clamp(-1.0, 1.0) * 32_767.0).round() as i16;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        WavFormat::Float32 => {
+            for &s in &audio.samples {
+                out.extend_from_slice(&(s as f32).to_le_bytes());
+            }
+        }
+    }
+    File::create(&path)
+        .and_then(|mut f| f.write_all(&out))
+        .map_err(|_| DspError::InvalidParameter {
+            name: "path",
+            constraint: "could not create or write the WAV file",
+        })
+}
+
+/// Reads a mono PCM16 or float32 WAV file.
+///
+/// Multi-channel files are mixed down by averaging channels.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for I/O failures or malformed /
+/// unsupported WAV content (the constraint string says which).
+pub fn read_wav(path: impl AsRef<Path>) -> Result<WavAudio, DspError> {
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|_| DspError::InvalidParameter {
+            name: "path",
+            constraint: "could not open or read the WAV file",
+        })?;
+    parse_wav(&bytes)
+}
+
+/// Parses WAV content from memory (the core of [`read_wav`], separated for
+/// testing).
+///
+/// # Errors
+///
+/// Same conditions as [`read_wav`].
+pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
+    let bad = |constraint: &'static str| DspError::InvalidParameter {
+        name: "wav",
+        constraint,
+    };
+    if bytes.len() < 44 || &bytes[..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(bad("not a RIFF/WAVE file"));
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // tag, channels, rate, bits
+    let mut data: Option<&[u8]> = None;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let size = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"))
+            as usize;
+        let body_start = pos + 8;
+        let body_end = (body_start + size).min(bytes.len());
+        match id {
+            b"fmt " if size >= 16 => {
+                let tag = u16::from_le_bytes([bytes[body_start], bytes[body_start + 1]]);
+                let channels =
+                    u16::from_le_bytes([bytes[body_start + 2], bytes[body_start + 3]]);
+                let rate = u32::from_le_bytes(
+                    bytes[body_start + 4..body_start + 8]
+                        .try_into()
+                        .expect("4 bytes"),
+                );
+                let bits =
+                    u16::from_le_bytes([bytes[body_start + 14], bytes[body_start + 15]]);
+                fmt = Some((tag, channels, rate, bits));
+            }
+            b"data" => data = Some(&bytes[body_start..body_end]),
+            _ => {}
+        }
+        // Chunks are word-aligned.
+        pos = body_start + size + (size % 2);
+    }
+    let (tag, channels, rate, bits) = fmt.ok_or(bad("missing fmt chunk"))?;
+    let data = data.ok_or(bad("missing data chunk"))?;
+    if channels == 0 {
+        return Err(bad("zero channels"));
+    }
+    let ch = channels as usize;
+    let frames: Vec<f64> = match (tag, bits) {
+        (1, 16) => data
+            .chunks_exact(2)
+            .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / 32_768.0)
+            .collect(),
+        (3, 32) => data
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64)
+            .collect(),
+        _ => return Err(bad("unsupported format (need PCM16 or float32)")),
+    };
+    // Mix down to mono.
+    let samples: Vec<f64> = frames
+        .chunks_exact(ch)
+        .map(|frame| frame.iter().sum::<f64>() / ch as f64)
+        .collect();
+    if samples.is_empty() {
+        return Err(bad("empty data chunk"));
+    }
+    Ok(WavAudio {
+        samples,
+        sample_rate: rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("earsonar_wav_test_{name}.wav"))
+    }
+
+    fn tone(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.3).sin() * 0.8).collect()
+    }
+
+    #[test]
+    fn pcm16_round_trip() {
+        let path = tmp("pcm16");
+        let audio = WavAudio {
+            samples: tone(480),
+            sample_rate: 48_000,
+        };
+        write_wav(&path, &audio, WavFormat::Pcm16).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert_eq!(back.sample_rate, 48_000);
+        assert_eq!(back.samples.len(), 480);
+        for (a, b) in audio.samples.iter().zip(&back.samples) {
+            assert!((a - b).abs() < 1.0 / 16_000.0, "{a} vs {b}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn float32_round_trip_is_tighter() {
+        let path = tmp("f32");
+        let audio = WavAudio {
+            samples: tone(100),
+            sample_rate: 44_100,
+        };
+        write_wav(&path, &audio, WavFormat::Float32).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert_eq!(back.sample_rate, 44_100);
+        for (a, b) in audio.samples.iter().zip(&back.samples) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pcm16_clamps_out_of_range() {
+        let path = tmp("clamp");
+        let audio = WavAudio {
+            samples: vec![2.0, -3.0, 0.5],
+            sample_rate: 8_000,
+        };
+        write_wav(&path, &audio, WavFormat::Pcm16).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert!(back.samples[0] > 0.99);
+        assert!(back.samples[1] < -0.99);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stereo_mixes_down() {
+        // Hand-build a stereo PCM16 file: L = 0.5, R = -0.5 → mono 0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&(36u32 + 8).to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes()); // stereo
+        bytes.extend_from_slice(&48_000u32.to_le_bytes());
+        bytes.extend_from_slice(&(48_000u32 * 4).to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&16u16.to_le_bytes());
+        bytes.extend_from_slice(b"data");
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        for _ in 0..2 {
+            bytes.extend_from_slice(&16_384i16.to_le_bytes());
+            bytes.extend_from_slice(&(-16_384i16).to_le_bytes());
+        }
+        let audio = parse_wav(&bytes).unwrap();
+        assert_eq!(audio.samples.len(), 2);
+        assert!(audio.samples.iter().all(|&s| s.abs() < 1e-9));
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        assert!(parse_wav(b"not a wav").is_err());
+        assert!(parse_wav(&[0u8; 50]).is_err());
+        // Valid RIFF but no data chunk.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&36u32.to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(parse_wav(&bytes).is_err());
+        assert!(read_wav("/nonexistent/path/file.wav").is_err());
+    }
+
+    #[test]
+    fn write_validates_input() {
+        let empty = WavAudio {
+            samples: vec![],
+            sample_rate: 48_000,
+        };
+        assert!(write_wav(tmp("e"), &empty, WavFormat::Pcm16).is_err());
+        let zero_rate = WavAudio {
+            samples: vec![0.0],
+            sample_rate: 0,
+        };
+        assert!(write_wav(tmp("z"), &zero_rate, WavFormat::Pcm16).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Window (taper) functions.
+//!
+//! EarSonar passes each received chirp through a Hanning window "to reshape
+//! the envelope of the signals and increase their peak-to-sidelobe ratio"
+//! (paper §IV-B-1). The other classic tapers are provided for completeness
+//! and for Welch PSD estimation.
+
+use std::f64::consts::PI;
+
+/// The supported window shapes.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_dsp::window::Window;
+/// let w = Window::Hann.coefficients(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0].abs() < 1e-12); // Hann starts at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann (a.k.a. Hanning) window — the paper's choice for pulse shaping.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl Window {
+    /// Returns the `n` window coefficients (symmetric/periodic-agnostic,
+    /// computed with the symmetric convention `w[i] = f(i / (n-1))`).
+    ///
+    /// An `n` of zero yields an empty vector; `n == 1` yields `[1.0]`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        match n {
+            0 => Vec::new(),
+            1 => vec![1.0],
+            _ => (0..n).map(|i| self.coefficient(i, n)).collect(),
+        }
+    }
+
+    /// Returns the `i`-th of `n` window coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        debug_assert!(i < n);
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+        }
+    }
+
+    /// Returns a windowed copy of `signal`.
+    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
+        let n = signal.len();
+        signal
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s * self.coefficient(i, n.max(1)))
+            .collect()
+    }
+
+    /// Multiplies `signal` by the window in place.
+    pub fn apply_in_place(self, signal: &mut [f64]) {
+        let n = signal.len();
+        for (i, s) in signal.iter_mut().enumerate() {
+            *s *= self.coefficient(i, n);
+        }
+    }
+
+    /// The coherent gain: mean of the window coefficients. Used to undo the
+    /// amplitude bias a taper introduces into spectral estimates.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.coefficients(n).iter().sum::<f64>() / n as f64
+    }
+
+    /// The incoherent (power) gain: mean of the squared coefficients. Used to
+    /// normalize power-spectral-density estimates.
+    pub fn power_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.coefficients(n).iter().map(|w| w * w).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(10)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_peak_is_one() {
+        let w = Window::Hann.coefficients(101);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[100].abs() < 1e-12);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_the_classic_0_08() {
+        let w = Window::Hamming.coefficients(51);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[50] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative_and_peaks_at_one() {
+        let w = Window::Blackman.coefficients(65);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(64);
+            for i in 0..32 {
+                assert!(
+                    (w[i] - w[63 - i]).abs() < 1e-12,
+                    "{win:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_coefficients() {
+        let x = vec![2.0; 16];
+        let y = Window::Hann.apply(&x);
+        let w = Window::Hann.coefficients(16);
+        for i in 0..16 {
+            assert!((y[i] - 2.0 * w[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let expect = Window::Blackman.apply(&x);
+        let mut y = x;
+        Window::Blackman.apply_in_place(&mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(Window::Hann.apply(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn gains_are_in_unit_range_for_tapers() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let cg = win.coherent_gain(128);
+            let pg = win.power_gain(128);
+            assert!(cg > 0.0 && cg < 1.0, "{win:?} coherent gain {cg}");
+            assert!(pg > 0.0 && pg < 1.0, "{win:?} power gain {pg}");
+            // Cauchy-Schwarz: power gain >= coherent gain^2.
+            assert!(pg >= cg * cg);
+        }
+        assert_eq!(Window::Rectangular.coherent_gain(64), 1.0);
+        assert_eq!(Window::Rectangular.power_gain(64), 1.0);
+    }
+
+    #[test]
+    fn default_window_is_hann() {
+        assert_eq!(Window::default(), Window::Hann);
+    }
+}

@@ -1,0 +1,388 @@
+//! Laplacian-score feature selection.
+//!
+//! "In order to reduce the computational load of the model, we use the
+//! Laplacian score to measure the importance of features, and save the top
+//! 25 features" (paper §IV-C-2). The Laplacian score (He, Cai & Niyogi,
+//! 2005) is unsupervised: features that vary smoothly over the k-nearest-
+//! neighbour graph of the samples (strong locality preservation) score low
+//! and are deemed important — a natural fit for a k-means back end.
+
+use crate::distance::squared_euclidean;
+use crate::error::MlError;
+
+/// Configuration for [`laplacian_scores`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplacianConfig {
+    /// Number of nearest neighbours in the sample graph.
+    pub k_neighbors: usize,
+    /// Heat-kernel bandwidth `t` in `S_ij = exp(-d²/t)`; if `None`, the
+    /// mean squared neighbour distance is used.
+    pub bandwidth: Option<f64>,
+}
+
+impl Default for LaplacianConfig {
+    fn default() -> Self {
+        LaplacianConfig {
+            k_neighbors: 5,
+            bandwidth: None,
+        }
+    }
+}
+
+/// Computes the Laplacian score of every feature (column) of `data`.
+/// **Lower scores indicate more important features.**
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyDataset`] for empty data,
+/// [`MlError::DimensionMismatch`] for ragged rows,
+/// [`MlError::NotEnoughSamples`] if there are fewer than 2 samples, and
+/// [`MlError::InvalidParameter`] if `k_neighbors == 0`.
+pub fn laplacian_scores(data: &[Vec<f64>], config: &LaplacianConfig) -> Result<Vec<f64>, MlError> {
+    if data.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    let n = data.len();
+    if n < 2 {
+        return Err(MlError::NotEnoughSamples {
+            needed: 2,
+            available: n,
+        });
+    }
+    let dim = data[0].len();
+    for row in data {
+        if row.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                actual: row.len(),
+            });
+        }
+    }
+    if config.k_neighbors == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "k_neighbors",
+            constraint: "must be at least 1",
+        });
+    }
+    let k = config.k_neighbors.min(n - 1);
+
+    // k-nearest-neighbour squared distances.
+    let mut neighbor_sets: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut dists: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, squared_euclidean(&data[i], &data[j])))
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        dists.truncate(k);
+        neighbor_sets.push(dists);
+    }
+
+    // Heat-kernel bandwidth.
+    let t = config.bandwidth.unwrap_or_else(|| {
+        let sum: f64 = neighbor_sets
+            .iter()
+            .flat_map(|s| s.iter().map(|&(_, d)| d))
+            .sum();
+        let count = (n * k) as f64;
+        (sum / count).max(1e-12)
+    });
+
+    // Symmetric sparse weight matrix (union of kNN relations).
+    let mut weights: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, set) in neighbor_sets.iter().enumerate() {
+        for &(j, d2) in set {
+            let w = (-d2 / t).exp();
+            weights[i].push((j, w));
+            weights[j].push((i, w));
+        }
+    }
+    // Deduplicate (keep max weight per pair).
+    for row in &mut weights {
+        row.sort_by_key(|&(j, _)| j);
+        row.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 = b.1.max(a.1);
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    // Degree vector D.
+    let degree: Vec<f64> = weights
+        .iter()
+        .map(|row| row.iter().map(|&(_, w)| w).sum())
+        .collect();
+    let d_total: f64 = degree.iter().sum();
+
+    let mut scores = Vec::with_capacity(dim);
+    for r in 0..dim {
+        let f: Vec<f64> = data.iter().map(|row| row[r]).collect();
+        // Remove the degree-weighted mean: f̃ = f - (fᵀD1 / 1ᵀD1) 1.
+        let weighted_mean: f64 =
+            f.iter().zip(&degree).map(|(&v, &d)| v * d).sum::<f64>() / d_total.max(1e-300);
+        let ft: Vec<f64> = f.iter().map(|&v| v - weighted_mean).collect();
+        // A (numerically) constant feature carries no locality information:
+        // score it as infinitely unimportant rather than dividing 0 by 0.
+        let spread = ft.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        if spread <= 1e-12 * (1.0 + weighted_mean.abs()) {
+            scores.push(f64::INFINITY);
+            continue;
+        }
+        // f̃ᵀ L f̃ = ½ Σ_ij w_ij (f̃_i - f̃_j)².
+        let mut num = 0.0;
+        for (i, row) in weights.iter().enumerate() {
+            for &(j, w) in row {
+                let d = ft[i] - ft[j];
+                num += 0.5 * w * d * d;
+            }
+        }
+        // f̃ᵀ D f̃.
+        let den: f64 = ft.iter().zip(&degree).map(|(&v, &d)| v * v * d).sum();
+        scores.push(if den > 1e-300 { num / den } else { f64::INFINITY });
+    }
+    Ok(scores)
+}
+
+/// Indices of the `top_k` most important features (lowest Laplacian score),
+/// in ascending-score order.
+///
+/// # Errors
+///
+/// Same conditions as [`laplacian_scores`]; additionally
+/// [`MlError::InvalidParameter`] if `top_k == 0`.
+pub fn select_top_features(
+    data: &[Vec<f64>],
+    top_k: usize,
+    config: &LaplacianConfig,
+) -> Result<Vec<usize>, MlError> {
+    if top_k == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "top_k",
+            constraint: "must be at least 1",
+        });
+    }
+    let scores = laplacian_scores(data, config)?;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    order.truncate(top_k.min(scores.len()));
+    Ok(order)
+}
+
+/// Indices of the `top_k` most important features by Laplacian score with
+/// **redundancy pruning**: walking the score ranking, a feature is skipped
+/// when its absolute Pearson correlation with an already-selected feature
+/// exceeds `max_corr`. Without pruning, a block of mutually correlated
+/// features (e.g. adjacent spectrum bins) can crowd out everything else —
+/// they dominate the sample graph and therefore look maximally "smooth" to
+/// the score.
+///
+/// If fewer than `top_k` features survive pruning, the best-scoring
+/// remaining features are appended regardless of correlation.
+///
+/// # Errors
+///
+/// Same conditions as [`select_top_features`]; additionally
+/// [`MlError::InvalidParameter`] if `max_corr` is outside `(0, 1]`.
+pub fn select_top_features_decorrelated(
+    data: &[Vec<f64>],
+    top_k: usize,
+    max_corr: f64,
+    config: &LaplacianConfig,
+) -> Result<Vec<usize>, MlError> {
+    if !(max_corr > 0.0 && max_corr <= 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "max_corr",
+            constraint: "must lie in (0, 1]",
+        });
+    }
+    if top_k == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "top_k",
+            constraint: "must be at least 1",
+        });
+    }
+    let scores = laplacian_scores(data, config)?;
+    let dim = scores.len();
+    let n = data.len() as f64;
+    // Column means/stds for correlation tests.
+    let mut means = vec![0.0; dim];
+    for row in data {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let col = |d: usize| -> Vec<f64> { data.iter().map(|r| r[d] - means[d]).collect() };
+    let corr = |a: &[f64], b: &[f64]| -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(-1.0, 1.0)
+        }
+    };
+    let mut order: Vec<usize> = (0..dim).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let want = top_k.min(dim);
+    let mut selected: Vec<usize> = Vec::with_capacity(want);
+    let mut selected_cols: Vec<Vec<f64>> = Vec::with_capacity(want);
+    let mut skipped: Vec<usize> = Vec::new();
+    for &d in &order {
+        if selected.len() == want {
+            break;
+        }
+        let c = col(d);
+        if selected_cols.iter().any(|sc| corr(sc, &c).abs() > max_corr) {
+            skipped.push(d);
+            continue;
+        }
+        selected.push(d);
+        selected_cols.push(c);
+    }
+    // Backfill from skipped (in score order) if pruning was too aggressive.
+    for d in skipped {
+        if selected.len() == want {
+            break;
+        }
+        selected.push(d);
+    }
+    Ok(selected)
+}
+
+/// Projects every sample onto the selected feature indices.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] if any index is out of range for
+/// any sample.
+pub fn project(data: &[Vec<f64>], indices: &[usize]) -> Result<Vec<Vec<f64>>, MlError> {
+    data.iter()
+        .map(|row| {
+            indices
+                .iter()
+                .map(|&i| {
+                    row.get(i).copied().ok_or(MlError::DimensionMismatch {
+                        expected: i + 1,
+                        actual: row.len(),
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two blobs separated along dimension 0; dimension 1 is uninformative
+    /// noise; dimension 2 is constant.
+    fn structured_data() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let noise = ((i * 37 % 11) as f64) / 11.0 - 0.5;
+            let blob = if i < 10 { 0.0 } else { 10.0 };
+            let jitter = ((i * 13 % 7) as f64) / 20.0;
+            data.push(vec![blob + jitter, noise * 8.0, 3.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn cluster_aligned_feature_scores_lowest() {
+        let data = structured_data();
+        let scores = laplacian_scores(&data, &LaplacianConfig::default()).unwrap();
+        assert!(
+            scores[0] < scores[1],
+            "informative {} vs noise {}",
+            scores[0],
+            scores[1]
+        );
+    }
+
+    #[test]
+    fn top_selection_prefers_informative_feature() {
+        let data = structured_data();
+        let top = select_top_features(&data, 1, &LaplacianConfig::default()).unwrap();
+        assert_eq!(top, vec![0]);
+    }
+
+    #[test]
+    fn selection_is_bounded_by_dimensionality() {
+        let data = structured_data();
+        let top = select_top_features(&data, 10, &LaplacianConfig::default()).unwrap();
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn project_extracts_columns() {
+        let data = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let p = project(&data, &[2, 0]).unwrap();
+        assert_eq!(p, vec![vec![3.0, 1.0], vec![6.0, 4.0]]);
+        assert!(project(&data, &[5]).is_err());
+    }
+
+    #[test]
+    fn error_cases() {
+        let cfg = LaplacianConfig::default();
+        assert!(matches!(
+            laplacian_scores(&[], &cfg),
+            Err(MlError::EmptyDataset)
+        ));
+        assert!(matches!(
+            laplacian_scores(&[vec![1.0]], &cfg),
+            Err(MlError::NotEnoughSamples { .. })
+        ));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(laplacian_scores(&ragged, &cfg).is_err());
+        let ok = vec![vec![1.0], vec![2.0]];
+        assert!(laplacian_scores(
+            &ok,
+            &LaplacianConfig {
+                k_neighbors: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(select_top_features(&ok, 0, &cfg).is_err());
+    }
+
+    #[test]
+    fn scores_are_finite_for_reasonable_data() {
+        let data = structured_data();
+        let scores = laplacian_scores(&data, &LaplacianConfig::default()).unwrap();
+        // Constant feature has zero variance → infinite score (unimportant).
+        assert!(scores[0].is_finite());
+        assert!(scores[1].is_finite());
+        assert!(scores[2].is_infinite());
+    }
+
+    #[test]
+    fn explicit_bandwidth_is_respected() {
+        let data = structured_data();
+        let a = laplacian_scores(
+            &data,
+            &LaplacianConfig {
+                k_neighbors: 5,
+                bandwidth: Some(1.0),
+            },
+        )
+        .unwrap();
+        let b = laplacian_scores(
+            &data,
+            &LaplacianConfig {
+                k_neighbors: 5,
+                bandwidth: Some(100.0),
+            },
+        )
+        .unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Outlier handling for k-means.
+//!
+//! "K-means clustering can perform badly in the presence of outliers"
+//! (paper §IV-D-4). The paper describes two mitigation strategies, both
+//! implemented here:
+//!
+//! 1. **Distance-based removal**: points much farther from their cluster
+//!    centre than their peers are dropped, verified over multiple
+//!    clustering loops before deletion.
+//! 2. **Random sampling**: cluster a random subsample (outliers are
+//!    unlikely to be drawn), then extend the model to the full set.
+
+use crate::distance::euclidean;
+use crate::error::MlError;
+use crate::kmeans::{KMeans, KMeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an outlier-removal pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierReport {
+    /// Indices (into the original data) kept as inliers.
+    pub inliers: Vec<usize>,
+    /// Indices flagged as outliers.
+    pub outliers: Vec<usize>,
+}
+
+impl OutlierReport {
+    /// Fraction of samples flagged.
+    pub fn outlier_rate(&self) -> f64 {
+        let total = self.inliers.len() + self.outliers.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.outliers.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Distance-based outlier detection (paper strategy 1).
+///
+/// A point is flagged when its distance to its cluster centre exceeds
+/// `threshold_sigma` standard deviations above the mean within-cluster
+/// distance, consistently over `loops` independent clusterings (different
+/// seeds) — the paper's "monitor these outliers in multiple clustering
+/// loops" safeguard against accidental deletion.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if `loops == 0` or
+/// `threshold_sigma <= 0`, plus any k-means fitting error.
+pub fn detect_outliers(
+    data: &[Vec<f64>],
+    config: &KMeansConfig,
+    threshold_sigma: f64,
+    loops: usize,
+) -> Result<OutlierReport, MlError> {
+    if loops == 0 {
+        return Err(MlError::InvalidParameter {
+            name: "loops",
+            constraint: "must run at least one clustering loop",
+        });
+    }
+    if !(threshold_sigma > 0.0) {
+        return Err(MlError::InvalidParameter {
+            name: "threshold_sigma",
+            constraint: "must be positive",
+        });
+    }
+    let n = data.len();
+    let mut flag_counts = vec![0usize; n];
+    for pass in 0..loops {
+        let cfg = KMeansConfig {
+            seed: config.seed.wrapping_add(0x9E37_79B9 * (pass as u64 + 1)),
+            ..config.clone()
+        };
+        let model = KMeans::fit(data, &cfg)?;
+        let dists: Vec<f64> = data
+            .iter()
+            .zip(model.labels())
+            .map(|(x, &l)| euclidean(x, &model.centroids()[l]))
+            .collect();
+        let mean = dists.iter().sum::<f64>() / n as f64;
+        let var = dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        let cut = mean + threshold_sigma * var.sqrt();
+        for (count, d) in flag_counts.iter_mut().zip(&dists) {
+            if *d > cut {
+                *count += 1;
+            }
+        }
+    }
+    let mut inliers = Vec::new();
+    let mut outliers = Vec::new();
+    for (i, &c) in flag_counts.iter().enumerate() {
+        // Flagged in every loop → confirmed outlier.
+        if c == loops {
+            outliers.push(i);
+        } else {
+            inliers.push(i);
+        }
+    }
+    Ok(OutlierReport { inliers, outliers })
+}
+
+/// Random-sampling strategy (paper strategy 2): fit k-means on a random
+/// fraction of the data ("the randomly selected sample will be relatively
+/// clean"), returning the model for use on the full dataset.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if `fraction` is outside `(0, 1]`,
+/// plus any k-means fitting error (e.g. the subsample being smaller than
+/// `k`).
+pub fn fit_on_random_sample(
+    data: &[Vec<f64>],
+    config: &KMeansConfig,
+    fraction: f64,
+    seed: u64,
+) -> Result<KMeans, MlError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "fraction",
+            constraint: "must lie in (0, 1]",
+        });
+    }
+    if data.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    let take = ((data.len() as f64 * fraction).round() as usize)
+        .clamp(1, data.len())
+        .max(config.k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates for a uniform subsample without replacement.
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    for i in 0..take.min(data.len() - 1) {
+        let j = rng.random_range(i..data.len());
+        idx.swap(i, j);
+    }
+    let sample: Vec<Vec<f64>> = idx[..take.min(data.len())]
+        .iter()
+        .map(|&i| data[i].clone())
+        .collect();
+    KMeans::fit(&sample, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs_with_outlier() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0)] {
+            for i in 0..12 {
+                data.push(vec![
+                    cx + (i as f64 * 0.4).sin() * 0.5,
+                    cy + (i as f64 * 0.9).cos() * 0.5,
+                ]);
+            }
+        }
+        // An outlier far from both blobs, but close enough that k-means
+        // attaches it to one rather than giving it a private cluster.
+        data.push(vec![5.0, 30.0]); // outlier (index 24)
+        data
+    }
+
+    #[test]
+    fn gross_outlier_is_flagged() {
+        let data = blobs_with_outlier();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let report = detect_outliers(&data, &cfg, 2.5, 3).unwrap();
+        assert!(report.outliers.contains(&24), "{:?}", report.outliers);
+        assert!(report.inliers.len() >= 22);
+    }
+
+    #[test]
+    fn clean_data_keeps_everything() {
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 2) as f64 * 10.0 + (i as f64 * 0.3).sin() * 0.2])
+            .collect();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let report = detect_outliers(&data, &cfg, 4.0, 3).unwrap();
+        assert!(report.outliers.is_empty(), "{:?}", report.outliers);
+        assert_eq!(report.outlier_rate(), 0.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let data = blobs_with_outlier();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        assert!(detect_outliers(&data, &cfg, 2.0, 0).is_err());
+        assert!(detect_outliers(&data, &cfg, 0.0, 3).is_err());
+        assert!(fit_on_random_sample(&data, &cfg, 0.0, 1).is_err());
+        assert!(fit_on_random_sample(&data, &cfg, 1.5, 1).is_err());
+        assert!(fit_on_random_sample(&[], &cfg, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn random_sample_model_clusters_full_data() {
+        let data = blobs_with_outlier();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let model = fit_on_random_sample(&data, &cfg, 0.6, 7).unwrap();
+        // The two blob members map to different clusters.
+        assert_ne!(model.predict(&data[0]), model.predict(&data[12]));
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic_per_seed() {
+        let data = blobs_with_outlier();
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let a = fit_on_random_sample(&data, &cfg, 0.5, 99).unwrap();
+        let b = fit_on_random_sample(&data, &cfg, 0.5, 99).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn outlier_rate_math() {
+        let r = OutlierReport {
+            inliers: vec![0, 1, 2],
+            outliers: vec![3],
+        };
+        assert!((r.outlier_rate() - 0.25).abs() < 1e-12);
+        let empty = OutlierReport {
+            inliers: vec![],
+            outliers: vec![],
+        };
+        assert_eq!(empty.outlier_rate(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! z-score standardization.
+//!
+//! Feature dimensions with wildly different scales (log-energy MFCCs vs.
+//! raw spectral kurtosis) would dominate the Euclidean metric of Eq. 11;
+//! standardizing each dimension to zero mean and unit variance on the
+//! training data is the conventional fix.
+
+use crate::error::MlError;
+
+/// A fitted per-dimension standardizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations per dimension.
+    ///
+    /// Dimensions with zero variance get a standard deviation of 1 so they
+    /// standardize to a constant 0 instead of NaN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for empty data and
+    /// [`MlError::DimensionMismatch`] for ragged rows.
+    pub fn fit(data: &[Vec<f64>]) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let dim = data[0].len();
+        for row in data {
+            if row.len() != dim {
+                return Err(MlError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+        }
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in data {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for row in data {
+            for ((var, &m), &v) in vars.iter_mut().zip(&means).zip(row) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Reassembles a scaler from previously fitted parameters (e.g. a
+    /// persisted model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the vectors differ in
+    /// length and [`MlError::EmptyDataset`] if they are empty.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Result<Self, MlError> {
+        if means.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if means.len() != stds.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: means.len(),
+                actual: stds.len(),
+            });
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// The fitted per-dimension means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-dimension standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the sample width differs
+    /// from the fitted width.
+    pub fn transform_sample(&self, sample: &[f64]) -> Result<Vec<f64>, MlError> {
+        if sample.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: sample.len(),
+            });
+        }
+        Ok(sample
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect())
+    }
+
+    /// Standardizes a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MlError::DimensionMismatch`] from any row.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        data.iter().map(|r| self.transform_sample(r)).collect()
+    }
+
+    /// Convenience: fit on `data` and transform it in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StandardScaler::fit`].
+    pub fn fit_transform(data: &[Vec<f64>]) -> Result<(Self, Vec<Vec<f64>>), MlError> {
+        let scaler = Self::fit(data)?;
+        let out = scaler.transform(data)?;
+        Ok((scaler, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_variance() {
+        let data = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let (_, out) = StandardScaler::fit_transform(&data).unwrap();
+        for d in 0..2 {
+            let col: Vec<f64> = out.iter().map(|r| r[d]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let data = vec![vec![7.0, 1.0], vec![7.0, 2.0], vec![7.0, 3.0]];
+        let (_, out) = StandardScaler::fit_transform(&data).unwrap();
+        assert!(out.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn transform_sample_uses_training_statistics() {
+        let data = vec![vec![0.0], vec![10.0]];
+        let scaler = StandardScaler::fit(&data).unwrap();
+        let t = scaler.transform_sample(&[5.0]).unwrap();
+        assert!(t[0].abs() < 1e-12); // 5 is the mean
+        let t2 = scaler.transform_sample(&[10.0]).unwrap();
+        assert!((t2[0] - 1.0).abs() < 1e-12); // one std above
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            StandardScaler::fit(&[]),
+            Err(MlError::EmptyDataset)
+        ));
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(StandardScaler::fit(&ragged).is_err());
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]).unwrap();
+        assert!(scaler.transform_sample(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 30.0]];
+        let fitted = StandardScaler::fit(&data).unwrap();
+        let rebuilt =
+            StandardScaler::from_parts(fitted.means().to_vec(), fitted.stds().to_vec()).unwrap();
+        assert_eq!(fitted, rebuilt);
+        assert!(StandardScaler::from_parts(vec![], vec![]).is_err());
+        assert!(StandardScaler::from_parts(vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_fitted_parameters() {
+        let data = vec![vec![2.0], vec![4.0]];
+        let scaler = StandardScaler::fit(&data).unwrap();
+        assert_eq!(scaler.means(), &[3.0]);
+        assert_eq!(scaler.stds(), &[1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Silhouette analysis for clustering quality.
+//!
+//! The paper fixes `k = 4` from domain knowledge (four effusion states).
+//! Silhouette scores let the ablation harness check that the data itself
+//! supports that choice: the mean silhouette should peak at or near the
+//! physiological `k`.
+
+use crate::distance::euclidean;
+use crate::error::MlError;
+
+/// Mean silhouette coefficient of a labelled clustering, in `[-1, 1]`.
+/// Higher is better; values near 0 mean overlapping clusters.
+///
+/// Samples in singleton clusters contribute 0 (the standard convention).
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyDataset`] for no samples,
+/// [`MlError::DimensionMismatch`] if labels and data disagree, and
+/// [`MlError::InvalidParameter`] if fewer than two clusters are present.
+pub fn silhouette_score(data: &[Vec<f64>], labels: &[usize]) -> Result<f64, MlError> {
+    let values = silhouette_samples(data, labels)?;
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Per-sample silhouette coefficients `s(i) = (b - a) / max(a, b)` where
+/// `a` is the mean intra-cluster distance and `b` the mean distance to the
+/// nearest other cluster.
+///
+/// # Errors
+///
+/// Same conditions as [`silhouette_score`].
+pub fn silhouette_samples(data: &[Vec<f64>], labels: &[usize]) -> Result<Vec<f64>, MlError> {
+    if data.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if data.len() != labels.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: data.len(),
+            actual: labels.len(),
+        });
+    }
+    let n_clusters = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![0usize; n_clusters];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return Err(MlError::InvalidParameter {
+            name: "labels",
+            constraint: "need at least two non-empty clusters",
+        });
+    }
+    let n = data.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let li = labels[i];
+        if counts[li] <= 1 {
+            out.push(0.0);
+            continue;
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; n_clusters];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += euclidean(&data[i], &data[j]);
+            }
+        }
+        let a = sums[li] / (counts[li] - 1) as f64;
+        let b = (0..n_clusters)
+            .filter(|&c| c != li && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        out.push(if denom > 0.0 { (b - a) / denom } else { 0.0 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(sep: f64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for i in 0..8 {
+                data.push(vec![
+                    c as f64 * sep + (i as f64 * 0.1).sin() * 0.3,
+                    (i as f64 * 0.2).cos() * 0.3,
+                ]);
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (data, labels) = blobs(20.0);
+        let s = silhouette_score(&data, &labels).unwrap();
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn overlapping_clusters_score_low() {
+        let (data, labels) = blobs(0.1);
+        let s = silhouette_score(&data, &labels).unwrap();
+        assert!(s < 0.3, "score {s}");
+    }
+
+    #[test]
+    fn better_separation_scores_better() {
+        let (d1, l1) = blobs(2.0);
+        let (d2, l2) = blobs(8.0);
+        let s1 = silhouette_score(&d1, &l1).unwrap();
+        let s2 = silhouette_score(&d2, &l2).unwrap();
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (data, labels) = blobs(3.0);
+        for s in silhouette_samples(&data, &labels).unwrap() {
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let data = vec![vec![0.0], vec![0.1], vec![10.0]];
+        let labels = vec![0, 0, 1];
+        let s = silhouette_samples(&data, &labels).unwrap();
+        assert_eq!(s[2], 0.0);
+        assert!(s[0] > 0.9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(silhouette_score(&[], &[]).is_err());
+        assert!(silhouette_score(&[vec![1.0]], &[0, 1]).is_err());
+        // Single cluster.
+        assert!(silhouette_score(&[vec![1.0], vec![2.0]], &[0, 0]).is_err());
+    }
+}

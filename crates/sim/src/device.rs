@@ -1,0 +1,158 @@
+//! Earphone hardware models.
+//!
+//! The device study (paper §VI-C-4, Fig. 15a) swaps four commercial in-ear
+//! earphones — CK35051, ATH-CKS550XIS, IE 100 PRO, and BOSE QC20 — and
+//! finds EarSonar "can adapt to different earphones and run robustly".
+//! Each model differs in frequency-response tilt across the 16–20 kHz probe
+//! band, microphone noise floor, and coupling quality.
+
+use std::fmt;
+
+/// A commercial earphone model used in the paper's device sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EarphoneModel {
+    /// The budget reference unit used for the main experiments.
+    #[default]
+    Ck35051,
+    /// Audio-Technica ATH-CKS550XIS.
+    AthCks550xis,
+    /// Sennheiser IE 100 PRO.
+    Ie100Pro,
+    /// BOSE QuietComfort 20.
+    BoseQc20,
+}
+
+impl EarphoneModel {
+    /// All models, in the order of paper Fig. 15(a).
+    pub const ALL: [EarphoneModel; 4] = [
+        EarphoneModel::Ck35051,
+        EarphoneModel::AthCks550xis,
+        EarphoneModel::Ie100Pro,
+        EarphoneModel::BoseQc20,
+    ];
+
+    /// Market name as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            EarphoneModel::Ck35051 => "CK35051",
+            EarphoneModel::AthCks550xis => "ATH-CKS550XIS",
+            EarphoneModel::Ie100Pro => "IE 100 PRO",
+            EarphoneModel::BoseQc20 => "BOSE QC20",
+        }
+    }
+
+    /// Speaker+microphone gain at frequency `f_hz`, normalized to ~1.0 at
+    /// 18 kHz. High-band behaviour differs per driver: cheap drivers roll
+    /// off; studio monitors stay flat.
+    pub fn response_gain(self, f_hz: f64) -> f64 {
+        let x = (f_hz - 18_000.0) / 1_000.0; // offsets in kHz from band centre
+        let (tilt_per_khz, curvature) = match self {
+            EarphoneModel::Ck35051 => (-0.030, -0.004),
+            EarphoneModel::AthCks550xis => (-0.018, -0.003),
+            EarphoneModel::Ie100Pro => (-0.006, -0.001),
+            EarphoneModel::BoseQc20 => (-0.012, -0.002),
+        };
+        (1.0 + tilt_per_khz * x + curvature * x * x).clamp(0.2, 1.5)
+    }
+
+    /// Microphone self-noise RMS, in simulator amplitude units (the paper's
+    /// added microphones have SNR "generally higher than 70 dB").
+    pub fn mic_noise_rms(self) -> f64 {
+        match self {
+            EarphoneModel::Ck35051 => 4.0e-4,
+            EarphoneModel::AthCks550xis => 3.2e-4,
+            EarphoneModel::Ie100Pro => 2.0e-4,
+            EarphoneModel::BoseQc20 => 2.5e-4,
+        }
+    }
+
+    /// In-ear coupling quality in `(0, 1]`: how consistently the earbud
+    /// seats in the canal (drives session-to-session gain variation).
+    pub fn coupling_quality(self) -> f64 {
+        match self {
+            EarphoneModel::Ck35051 => 0.970,
+            EarphoneModel::AthCks550xis => 0.975,
+            EarphoneModel::Ie100Pro => 0.990,
+            EarphoneModel::BoseQc20 => 0.983,
+        }
+    }
+
+    /// Passive ambient-noise isolation as an amplitude factor applied to
+    /// external noise (the QC20's sealed tips isolate best).
+    pub fn noise_isolation(self) -> f64 {
+        match self {
+            EarphoneModel::Ck35051 => 0.50,
+            EarphoneModel::AthCks550xis => 0.45,
+            EarphoneModel::Ie100Pro => 0.35,
+            EarphoneModel::BoseQc20 => 0.28,
+        }
+    }
+}
+
+impl fmt::Display for EarphoneModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_is_near_unity_at_band_centre() {
+        for m in EarphoneModel::ALL {
+            let g = m.response_gain(18_000.0);
+            assert!((g - 1.0).abs() < 1e-9, "{m}: {g}");
+        }
+    }
+
+    #[test]
+    fn cheap_driver_rolls_off_hardest() {
+        let cheap = EarphoneModel::Ck35051.response_gain(20_000.0);
+        let pro = EarphoneModel::Ie100Pro.response_gain(20_000.0);
+        assert!(cheap < pro);
+    }
+
+    #[test]
+    fn gains_are_bounded_across_band() {
+        for m in EarphoneModel::ALL {
+            for f in (14_000..23_000).step_by(250) {
+                let g = m.response_gain(f as f64);
+                assert!((0.2..=1.5).contains(&g), "{m} at {f}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn mic_noise_is_small_relative_to_signal() {
+        for m in EarphoneModel::ALL {
+            // > 60 dB below a unit-amplitude probe.
+            assert!(m.mic_noise_rms() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn qc20_isolates_best() {
+        let best = EarphoneModel::ALL
+            .iter()
+            .min_by(|a, b| a.noise_isolation().total_cmp(&b.noise_isolation()))
+            .unwrap();
+        assert_eq!(*best, EarphoneModel::BoseQc20);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(EarphoneModel::Ck35051.to_string(), "CK35051");
+        assert_eq!(EarphoneModel::BoseQc20.label(), "BOSE QC20");
+        assert_eq!(EarphoneModel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn coupling_quality_in_range() {
+        for m in EarphoneModel::ALL {
+            let q = m.coupling_quality();
+            assert!(q > 0.0 && q <= 1.0);
+        }
+    }
+}

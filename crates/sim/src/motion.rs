@@ -1,0 +1,146 @@
+//! Body-motion artifacts.
+//!
+//! The motion study (paper §VI-C-3) tests "sitting, slight head movements,
+//! walking and slight nodding": sitting and small head movements barely
+//! hurt, while walking and nodding shift the earphone relative to the
+//! canal and degrade detection. Motion enters the simulator as per-chirp
+//! jitter of echo delays and gains plus occasional transient bumps.
+
+use crate::rng::SimRng;
+use std::fmt;
+
+/// The four body-motion conditions of paper Fig. 14(c,d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Motion {
+    /// Seated and still — the recommended posture.
+    #[default]
+    Sit,
+    /// Slight head movements.
+    HeadMove,
+    /// Walking.
+    Walking,
+    /// Nodding.
+    Nodding,
+}
+
+impl Motion {
+    /// All conditions in the order of paper Fig. 14(c,d).
+    pub const ALL: [Motion; 4] = [
+        Motion::Sit,
+        Motion::HeadMove,
+        Motion::Walking,
+        Motion::Nodding,
+    ];
+
+    /// Label as printed in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Motion::Sit => "Sit",
+            Motion::HeadMove => "Head",
+            Motion::Walking => "Walking",
+            Motion::Nodding => "Nodding",
+        }
+    }
+
+    /// Standard deviation of per-chirp eardrum-delay jitter, in samples.
+    /// Larger motion moves the earbud more between chirps.
+    pub fn delay_jitter_samples(self) -> f64 {
+        match self {
+            Motion::Sit => 0.05,
+            Motion::HeadMove => 0.15,
+            Motion::Walking => 0.55,
+            Motion::Nodding => 0.75,
+        }
+    }
+
+    /// Relative standard deviation of per-chirp echo-gain modulation.
+    pub fn gain_jitter_rel(self) -> f64 {
+        match self {
+            Motion::Sit => 0.02,
+            Motion::HeadMove => 0.05,
+            Motion::Walking => 0.14,
+            Motion::Nodding => 0.18,
+        }
+    }
+
+    /// Probability that any given chirp is corrupted by a transient bump
+    /// (footfall, collar rub) strong enough to distort its echo.
+    pub fn transient_probability(self) -> f64 {
+        match self {
+            Motion::Sit => 0.002,
+            Motion::HeadMove => 0.01,
+            Motion::Walking => 0.07,
+            Motion::Nodding => 0.09,
+        }
+    }
+
+    /// Draws the per-chirp disturbance for this motion condition:
+    /// `(delay_offset_samples, gain_factor, transient_amplitude)`.
+    pub fn sample_disturbance(self, rng: &mut SimRng) -> (f64, f64, f64) {
+        let delay = rng.gaussian(0.0, self.delay_jitter_samples());
+        let gain = rng.jitter(self.gain_jitter_rel());
+        let transient = if rng.chance(self.transient_probability()) {
+            rng.uniform(0.05, 0.25)
+        } else {
+            0.0
+        };
+        (delay, gain, transient)
+    }
+}
+
+impl fmt::Display for Motion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_matches_paper() {
+        // Sit and HeadMove are mild; Walking and Nodding are disruptive.
+        assert!(Motion::Sit.delay_jitter_samples() < Motion::HeadMove.delay_jitter_samples());
+        assert!(Motion::HeadMove.delay_jitter_samples() < Motion::Walking.delay_jitter_samples());
+        assert!(Motion::Walking.delay_jitter_samples() < Motion::Nodding.delay_jitter_samples());
+        assert!(Motion::Sit.transient_probability() < Motion::Walking.transient_probability());
+    }
+
+    #[test]
+    fn sit_disturbance_is_small() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let (d, g, _) = Motion::Sit.sample_disturbance(&mut rng);
+            assert!(d.abs() < 0.5, "delay {d}");
+            assert!((g - 1.0).abs() < 0.2, "gain {g}");
+        }
+    }
+
+    #[test]
+    fn walking_produces_transients_sometimes() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let hits = (0..2_000)
+            .filter(|_| Motion::Walking.sample_disturbance(&mut rng).2 > 0.0)
+            .count();
+        // ~7% of 2000 = 140; accept a broad band.
+        assert!((60..=260).contains(&hits), "transients {hits}");
+    }
+
+    #[test]
+    fn sit_rarely_produces_transients() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let hits = (0..2_000)
+            .filter(|_| Motion::Sit.sample_disturbance(&mut rng).2 > 0.0)
+            .count();
+        assert!(hits < 20, "transients {hits}");
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(Motion::ALL.len(), 4);
+        assert_eq!(Motion::Sit.to_string(), "Sit");
+        assert_eq!(Motion::Nodding.label(), "Nodding");
+        assert_eq!(Motion::default(), Motion::Sit);
+    }
+}

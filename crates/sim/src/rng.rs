@@ -1,0 +1,202 @@
+//! Seeded randomness for the simulator.
+//!
+//! A thin wrapper over a seeded [`StdRng`] adding the variate families the
+//! simulator needs (Gaussian via Box–Muller, lognormal, clamped jitters).
+//! `rand_distr` is outside this project's dependency budget, so the
+//! transforms are implemented here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded simulation RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    spare_gaussian: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates an RNG from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derives an independent child RNG from this one's seed stream and a
+    /// stream label — lets hierarchical objects (cohort → patient →
+    /// session) stay deterministic under reordering.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.random();
+        SimRng::seed_from_u64(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform sample in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random_range(0.0..1.0) < p
+    }
+
+    /// Standard Gaussian sample (Box–Muller with spare caching).
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+            let v: f64 = self.inner.random_range(0.0..std::f64::consts::TAU);
+            let r = (-2.0 * u.ln()).sqrt();
+            let z0 = r * v.cos();
+            let z1 = r * v.sin();
+            if z0.is_finite() && z1.is_finite() {
+                self.spare_gaussian = Some(z1);
+                return z0;
+            }
+        }
+    }
+
+    /// Gaussian sample with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.max(0.0) * self.standard_gaussian()
+    }
+
+    /// Gaussian sample clamped to `[lo, hi]` (resampled up to 16 times,
+    /// then clamped) — used for physically bounded quantities.
+    pub fn gaussian_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        for _ in 0..16 {
+            let x = self.gaussian(mean, std_dev);
+            if x >= lo && x <= hi {
+                return x;
+            }
+        }
+        self.gaussian(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Lognormal sample: `exp(N(mu, sigma))`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.gaussian(mu, sigma).exp()
+    }
+
+    /// A multiplicative jitter factor `1 + N(0, rel_sigma)`, clamped to
+    /// stay positive.
+    pub fn jitter(&mut self, rel_sigma: f64) -> f64 {
+        (1.0 + self.gaussian(0.0, rel_sigma)).max(0.05)
+    }
+
+    /// Fills a buffer with white Gaussian noise of the given RMS amplitude.
+    pub fn white_noise(&mut self, len: usize, rms: f64) -> Vec<f64> {
+        (0..len).map(|_| self.gaussian(0.0, rms)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_under_seed() {
+        let mut a = SimRng::seed_from_u64(11);
+        let mut b = SimRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+            assert_eq!(a.standard_gaussian(), b.standard_gaussian());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from_u64(5);
+        let mut root2 = SimRng::seed_from_u64(5);
+        let mut c1 = root1.fork(3);
+        let mut c2 = root2.fork(3);
+        assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+        let mut other = root1.fork(4);
+        assert_ne!(c1.uniform(0.0, 1.0), other.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_clamped_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gaussian_clamped(0.5, 2.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_empty_range_returns_lo() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+        assert_eq!(rng.uniform(3.0, 1.0), 3.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = SimRng::seed_from_u64(8);
+        for _ in 0..100 {
+            assert!(rng.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn white_noise_rms_is_calibrated() {
+        let mut rng = SimRng::seed_from_u64(77);
+        let noise = rng.white_noise(20_000, 0.25);
+        let rms = (noise.iter().map(|v| v * v).sum::<f64>() / noise.len() as f64).sqrt();
+        assert!((rms - 0.25).abs() < 0.01, "rms {rms}");
+    }
+
+    #[test]
+    fn jitter_stays_positive() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..500 {
+            assert!(rng.jitter(0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Labelled measurement sessions.
+//!
+//! The study collected "acoustic data for 10 s … every time at 8 am and
+//! 6 pm each day" for each participant (paper §VI-A). A [`Session`] is one
+//! such visit: a synthesized recording plus its pneumatic-otoscope ground
+//! truth (here: the patient model's state on that day).
+
+use crate::effusion::MeeState;
+use crate::patient::Patient;
+use crate::recorder::{synthesize_recording, Recording};
+use crate::rng::SimRng;
+
+pub use crate::recorder::RecorderConfig as SessionConfig;
+
+/// One labelled recording session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The participant's id.
+    pub patient_id: usize,
+    /// Study day of the visit (0 = admission).
+    pub day: u32,
+    /// The synthesized capture.
+    pub recording: Recording,
+    /// Ground-truth effusion state (the "pneumatic otoscope" label).
+    pub ground_truth: MeeState,
+}
+
+impl Session {
+    /// Records a session for `patient` on `day` under `config`.
+    ///
+    /// `visit_seed` distinguishes multiple sessions of the same patient and
+    /// day (morning vs evening); the patient's own seed is mixed in so the
+    /// same `(patient, day, visit_seed)` always reproduces the capture.
+    pub fn record(patient: &Patient, day: u32, config: &SessionConfig, visit_seed: u64) -> Session {
+        let mut rng = SimRng::seed_from_u64(
+            patient
+                .seed
+                .wrapping_add((day as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(visit_seed.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+        );
+        let ground_truth = patient.state_on_day(day);
+        let response = patient.eardrum_response_on_day(day, &mut rng);
+        let recording = synthesize_recording(&patient.ear, &response, config, &mut rng);
+        Session {
+            patient_id: patient.id,
+            day,
+            recording,
+            ground_truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::Cohort;
+
+    #[test]
+    fn session_carries_ground_truth_of_the_day() {
+        let cohort = Cohort::generate(4, 1);
+        let p = &cohort.patients()[0];
+        let cfg = SessionConfig::default();
+        let early = Session::record(p, 0, &cfg, 0);
+        let late = Session::record(p, 29, &cfg, 0);
+        assert_eq!(early.ground_truth, p.state_on_day(0));
+        assert_eq!(late.ground_truth, MeeState::Clear);
+        assert_eq!(early.patient_id, p.id);
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_visit() {
+        let cohort = Cohort::generate(2, 3);
+        let p = &cohort.patients()[1];
+        let cfg = SessionConfig::default();
+        let a = Session::record(p, 5, &cfg, 7);
+        let b = Session::record(p, 5, &cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_visits_differ() {
+        let cohort = Cohort::generate(2, 3);
+        let p = &cohort.patients()[0];
+        let cfg = SessionConfig::default();
+        let morning = Session::record(p, 5, &cfg, 0);
+        let evening = Session::record(p, 5, &cfg, 1);
+        assert_ne!(morning.recording.samples, evening.recording.samples);
+        assert_eq!(morning.ground_truth, evening.ground_truth);
+    }
+}

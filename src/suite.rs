@@ -1,0 +1,46 @@
+//! Shared fixtures for the EarSonar integration tests and examples.
+//!
+//! The root package glues the workspace crates together: its `tests/`
+//! directory holds the cross-crate integration tests and `examples/` the
+//! runnable demos. This small library provides the fixtures they share so
+//! each test file doesn't rebuild the world.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use earsonar::EarSonarConfig;
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+use earsonar_sim::session::SessionConfig;
+
+/// The seed all integration fixtures share.
+pub const SUITE_SEED: u64 = 2023;
+
+/// A small, fast cohort dataset for integration tests: `n` patients, two
+/// sessions per effusion stage, default (quiet, seated) conditions.
+pub fn small_dataset(n: usize) -> Dataset {
+    Dataset::build(
+        &Cohort::generate(n, SUITE_SEED),
+        &DatasetSpec {
+            sessions_per_state: 2,
+            config: SessionConfig::default(),
+            seed: SUITE_SEED,
+        },
+    )
+}
+
+/// The paper-default pipeline configuration.
+pub fn config() -> EarSonarConfig {
+    EarSonarConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(small_dataset(2).sessions, small_dataset(2).sessions);
+        assert!(config().validate().is_ok());
+    }
+}

@@ -1,0 +1,127 @@
+//! Failure injection: the pipeline must degrade with typed errors — never
+//! panic, never emit NaN — when recordings are corrupted in ways real
+//! deployments produce (clipping, dropouts, DC offset, saturated noise,
+//! truncation).
+
+use earsonar::pipeline::FrontEnd;
+use earsonar::EarSonar;
+use earsonar_sim::recorder::Recording;
+use earsonar_suite::{config, small_dataset};
+
+fn clean_recording() -> Recording {
+    small_dataset(1).sessions[0].recording.clone()
+}
+
+fn assert_finite_or_typed_error(fe: &FrontEnd, rec: &Recording) {
+    match fe.process(rec) {
+        Ok(p) => {
+            assert!(p.features.iter().all(|v| v.is_finite()), "NaN feature");
+            assert!(p.spectrum.band_power.is_finite());
+        }
+        Err(e) => {
+            // A typed error is acceptable; its Display must be non-empty.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[test]
+fn hard_clipping_is_survivable() {
+    let fe = FrontEnd::new(&config()).unwrap();
+    let mut rec = clean_recording();
+    for s in &mut rec.samples {
+        *s = s.clamp(-0.05, 0.05); // severe clipping
+    }
+    assert_finite_or_typed_error(&fe, &rec);
+}
+
+#[test]
+fn dropouts_are_survivable() {
+    let fe = FrontEnd::new(&config()).unwrap();
+    let mut rec = clean_recording();
+    // Zero out every third chirp window (Bluetooth packet loss).
+    let hop = rec.chirp_hop;
+    for c in (0..rec.n_chirps).step_by(3) {
+        for s in &mut rec.samples[c * hop..(c + 1) * hop] {
+            *s = 0.0;
+        }
+    }
+    assert_finite_or_typed_error(&fe, &rec);
+}
+
+#[test]
+fn dc_offset_is_survivable() {
+    let fe = FrontEnd::new(&config()).unwrap();
+    let mut rec = clean_recording();
+    for s in &mut rec.samples {
+        *s += 0.5;
+    }
+    // The band-pass removes DC; processing should still succeed.
+    let p = fe.process(&rec).expect("DC offset must be filtered out");
+    assert!(p.features.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn saturated_noise_is_survivable() {
+    let fe = FrontEnd::new(&config()).unwrap();
+    let mut rec = clean_recording();
+    let mut state = 0.4f64;
+    for s in &mut rec.samples {
+        state = 3.97 * state * (1.0 - state);
+        *s += 2.0 * (state - 0.5); // noise swamping the probe
+    }
+    assert_finite_or_typed_error(&fe, &rec);
+}
+
+#[test]
+fn truncated_recordings_are_survivable() {
+    let fe = FrontEnd::new(&config()).unwrap();
+    let mut rec = clean_recording();
+    rec.samples.truncate(rec.chirp_hop + 10); // barely one chirp
+    rec.n_chirps = 1;
+    assert_finite_or_typed_error(&fe, &rec);
+}
+
+#[test]
+fn single_corrupt_session_does_not_break_training() {
+    let mut data = small_dataset(6);
+    // Corrupt one training session into silence.
+    for s in &mut data.sessions[3].recording.samples {
+        *s = 0.0;
+    }
+    let system = EarSonar::fit(&data.sessions, &config()).expect("training with one bad session");
+    let verdict = system.screen(&data.sessions[0].recording);
+    assert!(verdict.is_ok());
+}
+
+#[test]
+fn screening_silence_fails_with_no_echo_not_a_panic() {
+    let data = small_dataset(4);
+    let system = EarSonar::fit(&data.sessions, &config()).expect("training");
+    let silent = Recording {
+        samples: vec![0.0; 240 * 8],
+        sample_rate: 48_000.0,
+        chirp_hop: 240,
+        n_chirps: 8,
+        chirp_len: 24,
+    };
+    let err = system.screen(&silent).unwrap_err();
+    assert!(err.to_string().contains("echo") || err.to_string().contains("recording"));
+}
+
+#[test]
+fn polarity_inversion_changes_nothing() {
+    // A microphone with inverted polarity must not change verdicts: the
+    // pipeline works on energies.
+    let data = small_dataset(4);
+    let system = EarSonar::fit(&data.sessions, &config()).expect("training");
+    let rec = clean_recording();
+    let mut flipped = rec.clone();
+    for s in &mut flipped.samples {
+        *s = -*s;
+    }
+    assert_eq!(
+        system.screen(&rec).unwrap(),
+        system.screen(&flipped).unwrap()
+    );
+}
