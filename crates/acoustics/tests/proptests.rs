@@ -1,4 +1,7 @@
-//! Property-based tests for the acoustics models.
+//! Randomized-property tests for the acoustics models.
+//!
+//! Formerly `proptest`-based; the hermetic (no-crates.io) build ports each
+//! property to a deterministic loop over seeded [`DetRng`] inputs.
 
 use earsonar_acoustics::absorption::{AbsorptionDip, EardrumResponse};
 use earsonar_acoustics::chirp::FmcwChirp;
@@ -10,65 +13,84 @@ use earsonar_acoustics::propagation::{
 use earsonar_acoustics::reflection::{
     energy_absorbance, energy_reflectance, pressure_reflectance, pressure_transmittance,
 };
-use proptest::prelude::*;
+use earsonar_dsp::rng::DetRng;
 
-proptest! {
-    #[test]
-    fn reflectance_is_bounded(z1 in 1f64..1e8, z2 in 1f64..1e8) {
+const CASES: u64 = 64;
+
+#[test]
+fn reflectance_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let z1 = rng.uniform(1.0, 1e8);
+        let z2 = rng.uniform(1.0, 1e8);
         let r = pressure_reflectance(z1, z2);
-        prop_assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&r), "seed {seed}");
         // Energy conservation at the boundary.
         let er = energy_reflectance(z1, z2);
         let ea = energy_absorbance(z1, z2);
-        prop_assert!((er + ea - 1.0).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&er));
+        assert!((er + ea - 1.0).abs() < 1e-12, "seed {seed}");
+        assert!((0.0..=1.0).contains(&er), "seed {seed}");
         // Pressure continuity: 1 + R = T.
         let t = pressure_transmittance(z1, z2);
-        prop_assert!((1.0 + r - t).abs() < 1e-9);
+        assert!((1.0 + r - t).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn reflectance_antisymmetry(z1 in 1f64..1e8, z2 in 1f64..1e8) {
+#[test]
+fn reflectance_antisymmetry() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let z1 = rng.uniform(1.0, 1e8);
+        let z2 = rng.uniform(1.0, 1e8);
         let fwd = pressure_reflectance(z1, z2);
         let rev = pressure_reflectance(z2, z1);
-        prop_assert!((fwd + rev).abs() < 1e-12);
+        assert!((fwd + rev).abs() < 1e-12, "seed {seed}");
     }
+}
 
-    #[test]
-    fn layer_impedance_is_monotone_in_thickness(
-        bulk in 1e3f64..1e7,
-        lambda in 0.005f64..0.05,
-        d1 in 0f64..0.01,
-        d2 in 0f64..0.01,
-    ) {
+#[test]
+fn layer_impedance_is_monotone_in_thickness() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let bulk = rng.uniform(1e3, 1e7);
+        let lambda = rng.uniform(0.005, 0.05);
+        let d1 = rng.uniform(0.0, 0.01);
+        let d2 = rng.uniform(0.0, 0.01);
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
         let z_lo = layer_impedance(bulk, 1.0, lo, lambda);
         let z_hi = layer_impedance(bulk, 1.0, hi, lambda);
-        prop_assert!(z_lo <= z_hi + 1e-9);
-        prop_assert!(z_hi <= bulk + 1e-9);
-        prop_assert!(z_lo >= 0.0);
+        assert!(z_lo <= z_hi + 1e-9, "seed {seed}");
+        assert!(z_hi <= bulk + 1e-9, "seed {seed}");
+        assert!(z_lo >= 0.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn dip_gain_is_always_a_valid_multiplier(
-        center in 16_000f64..20_000.0,
-        depth in 0f64..1.5,
-        width in 10f64..2_000.0,
-        probe in 10_000f64..26_000.0,
-    ) {
+#[test]
+fn dip_gain_is_always_a_valid_multiplier() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let center = rng.uniform(16_000.0, 20_000.0);
+        let depth = rng.uniform(0.0, 1.5);
+        let width = rng.uniform(10.0, 2_000.0);
+        let probe = rng.uniform(10_000.0, 26_000.0);
         let dip = AbsorptionDip::new(center, depth, width);
         let g = dip.gain(probe);
-        prop_assert!((0.0..=1.0).contains(&g));
-        prop_assert!((dip.gain(probe) + dip.absorbed(probe) - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&g), "seed {seed}");
+        assert!(
+            (dip.gain(probe) + dip.absorbed(probe) - 1.0).abs() < 1e-12,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn eardrum_reflectance_stays_physical(
-        thickness in 0.0005f64..0.005,
-        depth in 0f64..0.9,
-        width in 200f64..1_200.0,
-        probe in 15_000f64..21_000.0,
-    ) {
+#[test]
+fn eardrum_reflectance_stays_physical() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let thickness = rng.uniform(0.0005, 0.005);
+        let depth = rng.uniform(0.0, 0.9);
+        let width = rng.uniform(200.0, 1_200.0);
+        let probe = rng.uniform(15_000.0, 21_000.0);
         let r = EardrumResponse::with_effusion(
             Medium::MUCOID_EFFUSION,
             thickness,
@@ -77,46 +99,58 @@ proptest! {
             width,
         );
         let v = r.reflectance_at(probe);
-        prop_assert!((0.0..=1.0).contains(&v));
+        assert!((0.0..=1.0).contains(&v), "seed {seed}");
     }
+}
 
-    #[test]
-    fn chirp_samples_are_bounded_and_start_at_zero(
-        f0 in 1_000f64..18_000.0,
-        bw in 500f64..4_000.0,
-        dur_us in 100u32..2_000,
-    ) {
-        let dur = dur_us as f64 * 1e-6;
-        prop_assume!(f0 + bw < 23_900.0);
+#[test]
+fn chirp_samples_are_bounded_and_start_at_zero() {
+    let mut tested = 0;
+    for seed in 0..CASES * 2 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let f0 = rng.uniform(1_000.0, 18_000.0);
+        let bw = rng.uniform(500.0, 4_000.0);
+        let dur = rng.range_usize(100, 2_000) as f64 * 1e-6;
+        if f0 + bw >= 23_900.0 {
+            continue;
+        }
+        tested += 1;
         let chirp = FmcwChirp::new(f0, bw, dur, 48_000.0).unwrap();
         let x = chirp.samples();
-        prop_assert!(!x.is_empty() || chirp.is_empty());
-        prop_assert!(x.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+        assert!(!x.is_empty() || chirp.is_empty(), "seed {seed}");
+        assert!(x.iter().all(|v| v.abs() <= 1.0 + 1e-12), "seed {seed}");
         if let Some(&first) = x.first() {
-            prop_assert!(first.abs() < 1e-12, "phase starts at zero");
+            assert!(first.abs() < 1e-12, "seed {seed}: phase starts at zero");
         }
     }
+    assert!(tested >= CASES as usize / 2, "too many rejected cases");
+}
 
-    #[test]
-    fn chirp_train_is_periodic(count in 1usize..6, interval_us in 600u32..4_000) {
+#[test]
+fn chirp_train_is_periodic() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let count = rng.range_usize(1, 6);
+        let interval = rng.range_usize(600, 4_000) as f64 * 1e-6;
         let chirp = FmcwChirp::earsonar();
-        let interval = interval_us as f64 * 1e-6;
         let train = chirp.train(count, interval).unwrap();
         let hop = chirp.hop_samples(interval);
         // Every chirp copy matches the first.
         let one = chirp.samples();
         for c in 0..count {
             for (i, &v) in one.iter().enumerate() {
-                prop_assert!((train[c * hop + i] - v).abs() < 1e-12);
+                assert!((train[c * hop + i] - v).abs() < 1e-12, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn allpass_delay_preserves_energy_circularly(
-        delay in 0f64..20.0,
-        n in 16usize..128,
-    ) {
+#[test]
+fn allpass_delay_preserves_energy_circularly() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let delay = rng.uniform(0.0, 20.0);
+        let n = rng.range_usize(16, 128);
         // A phase-only spectral multiplication preserves energy exactly
         // over the whole (circular) FFT frame, except for the Nyquist bin
         // (kept real by attenuation); bound the loss by that bin's power.
@@ -127,28 +161,37 @@ proptest! {
         let y = delay_fractional_allpass(&x, delay, frame);
         let ex: f64 = x.iter().map(|v| v * v).sum();
         let ey: f64 = y.iter().map(|v| v * v).sum();
-        prop_assert!(ey <= ex + 1e-9, "gained energy: {ex} vs {ey}");
-        prop_assert!(
+        assert!(ey <= ex + 1e-9, "seed {seed}: gained energy: {ex} vs {ey}");
+        assert!(
             ex - ey <= nyq_power + 1e-6 * (1.0 + ex),
-            "lost more than the Nyquist bin: {} vs {}",
+            "seed {seed}: lost more than the Nyquist bin: {} vs {}",
             ex - ey,
             nyq_power
         );
     }
+}
 
-    #[test]
-    fn linear_delay_never_gains_energy(delay in 0f64..20.0, n in 4usize..64) {
+#[test]
+fn linear_delay_never_gains_energy() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let delay = rng.uniform(0.0, 20.0);
+        let n = rng.range_usize(4, 64);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
         let y = delay_fractional(&x, delay, n + 24);
         let ex: f64 = x.iter().map(|v| v * v).sum();
         let ey: f64 = y.iter().map(|v| v * v).sum();
-        prop_assert!(ey <= ex + 1e-9);
+        assert!(ey <= ex + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn delay_scales_linearly_with_distance(d in 0.001f64..0.2) {
+#[test]
+fn delay_scales_linearly_with_distance() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let d = rng.uniform(0.001, 0.2);
         let s1 = round_trip_delay_samples(d, 48_000.0);
         let s2 = round_trip_delay_samples(2.0 * d, 48_000.0);
-        prop_assert!((s2 - 2.0 * s1).abs() < 1e-9);
+        assert!((s2 - 2.0 * s1).abs() < 1e-9, "seed {seed}");
     }
 }

@@ -1,17 +1,20 @@
 //! Micro-benchmarks of the DSP substrate kernels the pipeline leans on:
 //! FFT, Butterworth filtering, Wiener channel estimation, MFCC, and the
 //! parity-decomposition auto-convolution.
+//!
+//! Runs on the dependency-free [`earsonar_bench::timing`] harness
+//! (`cargo bench -p earsonar-bench --bench dsp_kernels`; pass `--smoke`
+//! for a fast CI run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use earsonar::channel::ChannelEstimator;
 use earsonar_acoustics::chirp::FmcwChirp;
+use earsonar_bench::timing::Bencher;
 use earsonar_dsp::convolution::autoconvolve;
 use earsonar_dsp::fft::fft_real;
 use earsonar_dsp::filter::{butter_bandpass, filtfilt};
 use earsonar_dsp::mfcc::{MfccConfig, MfccExtractor};
 use earsonar_dsp::psd::periodogram;
 use earsonar_dsp::window::Window;
-use std::hint::black_box;
 
 fn signal(n: usize) -> Vec<f64> {
     (0..n)
@@ -19,63 +22,33 @@ fn signal(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn fft_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_real");
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let b = Bencher::from_env(&args);
+
     for n in [256usize, 1024, 4096] {
         let x = signal(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
-            b.iter(|| black_box(fft_real(black_box(x))))
-        });
+        b.report(&format!("fft_real/{n}"), || fft_real(&x));
     }
-    group.finish();
-}
 
-fn filter_bench(c: &mut Criterion) {
     let f = butter_bandpass(4, 16_000.0, 20_000.0, 48_000.0).unwrap();
     let x = signal(5_760); // one default recording
-    c.bench_function("filtfilt_recording", |b| {
-        b.iter(|| black_box(filtfilt(&f, black_box(&x), 72).unwrap()))
-    });
-}
+    b.report("filtfilt_recording", || filtfilt(&f, &x, 72).unwrap());
 
-fn channel_bench(c: &mut Criterion) {
     let template = FmcwChirp::earsonar().samples();
     let est = ChannelEstimator::new(&template, 240, 96, 1e-3).unwrap();
     let window = signal(240);
-    c.bench_function("channel_ir_estimate", |b| {
-        b.iter(|| black_box(est.estimate(black_box(&window)).unwrap()))
-    });
-}
+    b.report("channel_ir_estimate", || est.estimate(&window).unwrap());
 
-fn mfcc_bench(c: &mut Criterion) {
     let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
     let x = signal(256);
-    c.bench_function("mfcc_extract_frame", |b| {
-        b.iter(|| black_box(ex.extract(black_box(&x)).unwrap()))
-    });
-}
+    b.report("mfcc_extract_frame", || ex.extract(&x).unwrap());
 
-fn parity_bench(c: &mut Criterion) {
     let x = signal(96);
-    c.bench_function("autoconvolve_ir", |b| {
-        b.iter(|| black_box(autoconvolve(black_box(&x))))
-    });
-}
+    b.report("autoconvolve_ir", || autoconvolve(&x));
 
-fn psd_bench(c: &mut Criterion) {
     let x = signal(4096);
-    c.bench_function("periodogram_4096", |b| {
-        b.iter(|| black_box(periodogram(black_box(&x), 48_000.0, Window::Hann).unwrap()))
+    b.report("periodogram_4096", || {
+        periodogram(&x, 48_000.0, Window::Hann).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    fft_bench,
-    filter_bench,
-    channel_bench,
-    mfcc_bench,
-    parity_bench,
-    psd_bench
-);
-criterion_main!(benches);

@@ -1,14 +1,20 @@
-//! Criterion version of paper Table II: per-stage latency of the EarSonar
+//! Benchmark version of paper Table II: per-stage latency of the EarSonar
 //! pipeline (band-pass filter, feature extraction, inference).
+//!
+//! Runs on the dependency-free [`earsonar_bench::timing`] harness
+//! (`cargo bench -p earsonar-bench --bench table2_latency`; pass `--smoke`
+//! for a fast CI run).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use earsonar::preprocess::Preprocessor;
 use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_bench::standard_dataset;
+use earsonar_bench::timing::Bencher;
 use earsonar_sim::session::SessionConfig;
-use std::hint::black_box;
 
-fn table2(c: &mut Criterion) {
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let b = Bencher::from_env(&args);
+
     let cfg = EarSonarConfig::default();
     let dataset = standard_dataset(6, SessionConfig::default());
     let system = EarSonar::fit(&dataset.sessions, &cfg).expect("fit");
@@ -20,21 +26,12 @@ fn table2(c: &mut Criterion) {
         .expect("process")
         .features;
 
-    let mut group = c.benchmark_group("table2_latency");
-    group.bench_function("bandpass_filter", |b| {
-        b.iter(|| black_box(pre.run(black_box(&recording.samples)).unwrap()))
+    b.report("bandpass_filter", || pre.run(&recording.samples).unwrap());
+    b.report("feature_extract_full_front_end", || {
+        system.front_end().process(&recording).unwrap()
     });
-    group.bench_function("feature_extract_full_front_end", |b| {
-        b.iter(|| black_box(system.front_end().process(black_box(&recording)).unwrap()))
+    b.report("inference", || {
+        system.detector().predict(&features).unwrap()
     });
-    group.bench_function("inference", |b| {
-        b.iter(|| black_box(system.detector().predict(black_box(&features)).unwrap()))
-    });
-    group.bench_function("end_to_end_screen", |b| {
-        b.iter(|| black_box(system.screen(black_box(&recording)).unwrap()))
-    });
-    group.finish();
+    b.report("end_to_end_screen", || system.screen(&recording).unwrap());
 }
-
-criterion_group!(benches, table2);
-criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Micro-benchmark report for the planned-FFT / batch-processing work.
+//!
+//! Times planned transforms against their one-shot equivalents and the
+//! scoped-thread batch front end against sequential processing, verifies
+//! that batching is bit-identical to the sequential path, and writes the
+//! results to `BENCH_pr1.json` in the working directory.
+//!
+//! Run with `cargo run --release -p earsonar-bench --bin perf_report`;
+//! pass `--smoke` (or set `EARSONAR_BENCH_SMOKE`) for a fast CI pass.
+
+use earsonar::batch::default_workers;
+use earsonar::pipeline::FrontEnd;
+use earsonar::EarSonarConfig;
+use earsonar_bench::standard_dataset;
+use earsonar_bench::timing::{json_num, Bencher, Measurement};
+use earsonar_dsp::complex::Complex64;
+use earsonar_dsp::fft::{fft, fft_real};
+use earsonar_dsp::plan::{FftPlan, RealFftPlan};
+use earsonar_dsp::rng::DetRng;
+use earsonar_sim::recorder::Recording;
+use earsonar_sim::session::SessionConfig;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Per-size FFT comparison row.
+struct FftRow {
+    size: usize,
+    kind: &'static str,
+    one_shot: Measurement,
+    planned: Measurement,
+}
+
+impl FftRow {
+    fn speedup(&self) -> f64 {
+        self.one_shot.ns_per_iter / self.planned.ns_per_iter
+    }
+}
+
+fn random_signal(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// One-shot (plan built per call, as the free functions do) vs planned
+/// (plan and buffers reused) complex FFT.
+fn bench_complex(b: &Bencher, n: usize) -> FftRow {
+    let signal: Vec<Complex64> = random_signal(n, 17 + n as u64)
+        .into_iter()
+        .map(Complex64::from_real)
+        .collect();
+    let one_shot = b.report(&format!("fft_one_shot/{n}"), || fft(&signal));
+    let plan = FftPlan::new(n).unwrap();
+    let mut buf = signal.clone();
+    let planned = b.report(&format!("fft_planned/{n}"), || {
+        buf.copy_from_slice(&signal);
+        plan.forward(&mut buf).unwrap();
+        black_box(buf[0])
+    });
+    FftRow {
+        size: n,
+        kind: "complex",
+        one_shot,
+        planned,
+    }
+}
+
+/// One-shot vs planned real-input FFT. The planned path also exercises the
+/// half-size real transform, so the gap combines plan reuse with the
+/// halved butterfly count.
+fn bench_real(b: &Bencher, n: usize) -> FftRow {
+    let signal = random_signal(n, 29 + n as u64);
+    let one_shot = b.report(&format!("fft_real_one_shot/{n}"), || fft_real(&signal));
+    let plan = RealFftPlan::new(n).unwrap();
+    let mut work = Vec::new();
+    let mut out = Vec::new();
+    let planned = b.report(&format!("fft_real_planned/{n}"), || {
+        plan.forward_into(&signal, &mut work, &mut out).unwrap();
+        black_box(out[0])
+    });
+    FftRow {
+        size: n,
+        kind: "real",
+        one_shot,
+        planned,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bencher = Bencher::from_env(&args);
+    let smoke = std::env::var_os("EARSONAR_BENCH_SMOKE").is_some()
+        || args.iter().any(|a| a == "--smoke");
+
+    println!("== planned vs one-shot transforms ==");
+    let mut rows = Vec::new();
+    for n in [1024usize, 2048, 4096] {
+        rows.push(bench_complex(&bencher, n));
+        rows.push(bench_real(&bencher, n));
+    }
+
+    println!("\n== batch vs sequential front end ==");
+    let data = standard_dataset(4, SessionConfig::default());
+    let recordings: Vec<Recording> = data
+        .sessions
+        .iter()
+        .take(8)
+        .map(|s| s.recording.clone())
+        .collect();
+    assert_eq!(recordings.len(), 8, "dataset too small for the batch bench");
+    let front_end = FrontEnd::new(&EarSonarConfig::default()).expect("front end");
+
+    // Bit-identity check before timing anything: the batched result must
+    // match sequential processing exactly, at several worker counts.
+    let sequential: Vec<_> = recordings
+        .iter()
+        .map(|r| front_end.process(r))
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let batched = front_end.process_batch_with_workers(&recordings, workers);
+        for (s, p) in sequential.iter().zip(&batched) {
+            match (s, p) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.features, b.features, "workers = {workers}");
+                    assert_eq!(a.chirps_used, b.chirps_used, "workers = {workers}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("batch/sequential outcome mismatch at {workers} workers"),
+            }
+        }
+    }
+    println!("bit-identity: batch == sequential at 1/2/4 workers");
+
+    let workers = default_workers(recordings.len());
+    let seq = bencher.report("front_end_sequential/8", || {
+        recordings
+            .iter()
+            .map(|r| front_end.process(r).map(|p| p.features.len()))
+            .collect::<Vec<_>>()
+    });
+    let par = bencher.report(&format!("front_end_batch/8x{workers}"), || {
+        front_end.process_batch(&recordings).len()
+    });
+    let batch_speedup = seq.ns_per_iter / par.ns_per_iter;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nbatch speedup: {batch_speedup:.2}x with {workers} worker(s) on {cores} core(s)"
+    );
+
+    // Hand-rolled JSON: the dependency budget has no serde.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"report\": \"BENCH_pr1\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"fft\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"size\": {}, \"kind\": \"{}\", \"one_shot_ns\": {}, \"planned_ns\": {}, \"speedup\": {}}}{}",
+            r.size,
+            r.kind,
+            json_num(r.one_shot.ns_per_iter),
+            json_num(r.planned.ns_per_iter),
+            json_num(r.speedup()),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"batch\": {{");
+    let _ = writeln!(json, "    \"recordings\": {},", recordings.len());
+    let _ = writeln!(json, "    \"workers\": {workers},");
+    let _ = writeln!(json, "    \"sequential_ns\": {},", json_num(seq.ns_per_iter));
+    let _ = writeln!(json, "    \"batch_ns\": {},", json_num(par.ns_per_iter));
+    let _ = writeln!(json, "    \"speedup\": {},", json_num(batch_speedup));
+    let _ = writeln!(json, "    \"bit_identical\": true");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
+    println!("\nwrote BENCH_pr1.json");
+}

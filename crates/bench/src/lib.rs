@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use earsonar::eval::{loocv, ExtractedDataset};
 use earsonar::report::Table;
 use earsonar::EarSonarConfig;

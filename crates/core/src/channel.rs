@@ -13,7 +13,8 @@
 use crate::config::EarSonarConfig;
 use crate::error::EarSonarError;
 use earsonar_dsp::complex::Complex64;
-use earsonar_dsp::fft::{fft, ifft, next_pow2};
+use earsonar_dsp::fft::{fft_in_place, next_pow2};
+use earsonar_dsp::plan::DspScratch;
 
 /// A prepared Wiener deconvolution operator for a fixed chirp template and
 /// window length.
@@ -62,19 +63,21 @@ impl ChannelEstimator {
             });
         }
         let n_fft = next_pow2(window_len + template.len());
+        // Transform the template in place: `buf` *is* the spectrum buffer,
+        // then gets overwritten with the Wiener inverse — one allocation
+        // total instead of three.
         let mut buf = vec![Complex64::ZERO; n_fft];
         for (dst, &src) in buf.iter_mut().zip(template) {
             *dst = Complex64::from_real(src);
         }
-        let t_spec = fft(&buf);
-        let peak = t_spec.iter().map(|z| z.norm_sqr()).fold(0.0, f64::max);
+        fft_in_place(&mut buf)?;
+        let peak = buf.iter().map(|z| z.norm_sqr()).fold(0.0, f64::max);
         let eps = regularization * peak;
-        let inverse = t_spec
-            .iter()
-            .map(|&t| t.conj() / (t.norm_sqr() + eps))
-            .collect();
+        for t in buf.iter_mut() {
+            *t = t.conj() / (t.norm_sqr() + eps);
+        }
         Ok(ChannelEstimator {
-            inverse,
+            inverse: buf,
             n_fft,
             n_taps,
         })
@@ -92,21 +95,55 @@ impl ChannelEstimator {
     /// Returns [`EarSonarError::BadRecording`] if the window exceeds the
     /// prepared FFT size or is empty.
     pub fn estimate(&self, window: &[f64]) -> Result<Vec<f64>, EarSonarError> {
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::with_capacity(self.n_taps);
+        self.estimate_with(&mut scratch, window, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ChannelEstimator::estimate`] writing into a caller-owned buffer,
+    /// with the FFT plan and intermediates drawn from `scratch`.
+    ///
+    /// This is the pipeline's per-chirp hot path: with a warm scratch the
+    /// deconvolution runs allocation-free, and the forward transform uses
+    /// the half-size real-input plan.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChannelEstimator::estimate`].
+    pub fn estimate_with(
+        &self,
+        scratch: &mut DspScratch,
+        window: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), EarSonarError> {
         if window.is_empty() || window.len() > self.n_fft {
             return Err(EarSonarError::BadRecording {
                 reason: "window length incompatible with channel estimator",
             });
         }
-        let mut buf = vec![Complex64::ZERO; self.n_fft];
-        for (dst, &src) in buf.iter_mut().zip(window) {
-            *dst = Complex64::from_real(src);
+        let plan = scratch.real_plan(self.n_fft).map_err(EarSonarError::from)?;
+        let mut work = scratch.take_complex();
+        let mut spec = scratch.take_complex();
+        let mut ir = scratch.take_real();
+        let result = (|| {
+            plan.forward_into(window, &mut work, &mut spec)?;
+            for (z, inv) in spec.iter_mut().zip(&self.inverse) {
+                *z *= *inv;
+            }
+            // The Wiener inverse is Hermitian (built from a real template),
+            // so the product spectrum stays Hermitian and the real inverse
+            // transform applies.
+            plan.inverse_into(&spec, &mut work, &mut ir)
+        })();
+        if result.is_ok() {
+            out.clear();
+            out.extend_from_slice(&ir[..self.n_taps]);
         }
-        let mut spec = fft(&buf);
-        for (z, inv) in spec.iter_mut().zip(&self.inverse) {
-            *z *= *inv;
-        }
-        let ir = ifft(&spec);
-        Ok(ir[..self.n_taps].iter().map(|z| z.re).collect())
+        scratch.put_real(ir);
+        scratch.put_complex(spec);
+        scratch.put_complex(work);
+        result.map_err(EarSonarError::from)
     }
 }
 

@@ -141,7 +141,7 @@ mod tests {
         x[503] = 9.0;
         let d = downsample_for_display(&x, 50);
         assert_eq!(d.len(), 50);
-        assert!(d.iter().any(|&v| v == 9.0), "peak lost");
+        assert!(d.contains(&9.0), "peak lost");
         assert!(downsample_for_display(&[], 10).is_empty());
         assert!(downsample_for_display(&[1.0], 0).is_empty());
         assert_eq!(downsample_for_display(&[1.0, 2.0], 10), vec![1.0, 2.0]);

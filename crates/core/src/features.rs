@@ -69,6 +69,23 @@ impl FeatureExtractor {
         averaged: &EchoSpectrum,
         echoes: &[EardrumEcho],
     ) -> Result<Vec<f64>, EarSonarError> {
+        let mut scratch = earsonar_dsp::plan::DspScratch::new();
+        self.extract_with(&mut scratch, per_chirp, averaged, echoes)
+    }
+
+    /// [`FeatureExtractor::extract`] with DSP intermediates (the per-chirp
+    /// MFCC frame, spectrum, and filterbank buffers) drawn from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FeatureExtractor::extract`].
+    pub fn extract_with(
+        &self,
+        scratch: &mut earsonar_dsp::plan::DspScratch,
+        per_chirp: &[EchoSpectrum],
+        averaged: &EchoSpectrum,
+        echoes: &[EardrumEcho],
+    ) -> Result<Vec<f64>, EarSonarError> {
         if per_chirp.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }
@@ -77,7 +94,9 @@ impl FeatureExtractor {
         // MFCC mean and std across chirps.
         let mut mfccs: Vec<Vec<f64>> = Vec::with_capacity(per_chirp.len());
         for s in per_chirp {
-            mfccs.push(self.mfcc.extract(&s.echo_window)?);
+            let mut coeffs = Vec::with_capacity(N_MFCC);
+            self.mfcc.extract_into(scratch, &s.echo_window, &mut coeffs)?;
+            mfccs.push(coeffs);
         }
         let n = mfccs.len() as f64;
         let mut mean = vec![0.0; N_MFCC];

@@ -22,6 +22,8 @@
 //! * [`detect`] — Laplacian-score selection, k-means clustering, outlier
 //!   handling, and cluster labelling (§IV-C-2/3/4),
 //! * [`pipeline`] — the end-to-end [`pipeline::EarSonar`] system,
+//! * [`batch`] — scoped-thread batch processing with per-worker DSP
+//!   scratch (bit-identical to sequential processing),
 //! * [`baseline`] — a Chan-et-al-style comparator without fine-grained
 //!   segmentation (§VII),
 //! * [`eval`] — leave-one-participant-out evaluation (§VI-A),
@@ -59,6 +61,7 @@
 
 pub mod absorption;
 pub mod baseline;
+pub mod batch;
 pub mod cancel;
 pub mod channel;
 pub mod config;

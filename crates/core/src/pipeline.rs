@@ -17,6 +17,7 @@ use crate::event::{detect_events, events_per_chirp};
 use crate::features::FeatureExtractor;
 use crate::preprocess::Preprocessor;
 use crate::segment::{segment_with_anchor, EardrumEcho};
+use earsonar_dsp::plan::DspScratch;
 use earsonar_sim::effusion::MeeState;
 use earsonar_sim::recorder::Recording;
 use earsonar_sim::session::Session;
@@ -60,7 +61,9 @@ impl FrontEnd {
         // preprocessing, so run the transmit chirp through the same
         // zero-phase band-pass the recording sees.
         let mut raw = chirp_template(config)?;
-        raw.extend(std::iter::repeat_n(0.0, raw.len()));
+        // Zero-pad to twice the chirp length in place — `resize` grows the
+        // existing allocation instead of copying element by element.
+        raw.resize(raw.len() * 2, 0.0);
         let filtered = preprocessor.run(&raw)?;
         let estimator = pipeline_estimator(&filtered, config)?;
         Ok(FrontEnd {
@@ -91,6 +94,27 @@ impl FrontEnd {
     /// Returns [`EarSonarError::NoEchoDetected`] if no chirp yields a
     /// usable echo, or [`EarSonarError::BadRecording`] for malformed input.
     pub fn process(&self, recording: &Recording) -> Result<ProcessedRecording, EarSonarError> {
+        let mut scratch = DspScratch::new();
+        self.process_with(&mut scratch, recording)
+    }
+
+    /// [`FrontEnd::process`] with FFT plans and DSP intermediates drawn
+    /// from a caller-owned [`DspScratch`].
+    ///
+    /// A recording runs dozens of chirp deconvolutions, envelope and MFCC
+    /// transforms over the same few FFT sizes; with a warm scratch those
+    /// kernels stop allocating and reuse precomputed plans. Batch callers
+    /// (see [`crate::batch`]) keep one scratch per worker thread across
+    /// recordings. Results are bit-identical to [`FrontEnd::process`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrontEnd::process`].
+    pub fn process_with(
+        &self,
+        scratch: &mut DspScratch,
+        recording: &Recording,
+    ) -> Result<ProcessedRecording, EarSonarError> {
         if recording.samples.is_empty() {
             return Err(EarSonarError::BadRecording {
                 reason: "empty recording",
@@ -110,7 +134,12 @@ impl FrontEnd {
             }
             let start = c * recording.chirp_hop;
             let end = (start + recording.chirp_hop).min(filtered.len());
-            if let Ok(ir) = self.estimator.estimate(&filtered[start..end]) {
+            let mut ir = Vec::with_capacity(self.estimator.n_taps());
+            if self
+                .estimator
+                .estimate_with(scratch, &filtered[start..end], &mut ir)
+                .is_ok()
+            {
                 irs.push(ir);
             }
         }
@@ -131,9 +160,11 @@ impl FrontEnd {
         // Subsample alignment: place the echo pulse's envelope peak on the
         // integer grid so the fixed analysis section always captures the
         // same portion of the pulse, independent of eardrum distance.
-        let env = earsonar_dsp::hilbert::envelope(&avg_ir);
+        let mut env = scratch.take_real();
+        earsonar_dsp::hilbert::envelope_with(scratch, &avg_ir, &mut env);
         let refined = earsonar_dsp::hilbert::refine_peak(&env, echo.center, 3)
             .unwrap_or(echo.center as f64);
+        scratch.put_real(env);
         let target = refined.ceil() + 1.0;
         let shift = target - refined; // in (0, 2]: a pure delay
         let aligned_len = avg_ir.len() + 3;
@@ -159,7 +190,9 @@ impl FrontEnd {
             return Err(EarSonarError::NoEchoDetected);
         }
         let averaged = average_spectra(&spectra)?;
-        let features = self.extractor.extract(&spectra, &averaged, &echoes)?;
+        let features = self
+            .extractor
+            .extract_with(scratch, &spectra, &averaged, &echoes)?;
         Ok(ProcessedRecording {
             features,
             spectrum: averaged,

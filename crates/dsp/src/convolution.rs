@@ -6,8 +6,8 @@
 //! with itself, not autocorrelation. Both a direct `O(N·M)` routine and an
 //! FFT-based `O(N log N)` routine are provided; they agree to rounding.
 
-use crate::complex::Complex64;
-use crate::fft::{fft, ifft, next_pow2};
+use crate::fft::next_pow2;
+use crate::plan::DspScratch;
 
 /// Full linear convolution of two real sequences, computed directly.
 ///
@@ -41,23 +41,41 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// Matches [`convolve`] up to floating-point rounding but runs in
 /// `O(N log N)`.
 pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    convolve_fft_with(&mut scratch, a, b, &mut out);
+    out
+}
+
+/// [`convolve_fft`] writing into a caller-owned buffer, with plans and
+/// intermediates drawn from `scratch` — allocation-free once the workspace
+/// is warm for this problem size.
+pub fn convolve_fft_with(scratch: &mut DspScratch, a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
     let out_len = a.len() + b.len() - 1;
     let n = next_pow2(out_len);
-    let mut fa = vec![Complex64::ZERO; n];
-    let mut fb = vec![Complex64::ZERO; n];
-    for (dst, &src) in fa.iter_mut().zip(a) {
-        *dst = Complex64::from_real(src);
+    let plan = scratch
+        .real_plan(n)
+        .expect("next_pow2 yields a valid plan size");
+    let mut work = scratch.take_complex();
+    let mut fa = scratch.take_complex();
+    let mut fb = scratch.take_complex();
+    plan.forward_into(a, &mut work, &mut fa)
+        .expect("input fits the padded plan");
+    plan.forward_into(b, &mut work, &mut fb)
+        .expect("input fits the padded plan");
+    for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+        *x *= y;
     }
-    for (dst, &src) in fb.iter_mut().zip(b) {
-        *dst = Complex64::from_real(src);
-    }
-    let fa = fft(&fa);
-    let fb = fft(&fb);
-    let prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
-    ifft(&prod)[..out_len].iter().map(|z| z.re).collect()
+    plan.inverse_into(&fa, &mut work, out)
+        .expect("product spectrum matches the plan size");
+    out.truncate(out_len);
+    scratch.put_complex(fb);
+    scratch.put_complex(fa);
+    scratch.put_complex(work);
 }
 
 /// Auto-convolution `(x * x)[m]`, the quantity maximized to find the parity
@@ -71,6 +89,38 @@ pub fn autoconvolve(x: &[f64]) -> Vec<f64> {
     } else {
         convolve_fft(x, x)
     }
+}
+
+/// [`autoconvolve`] writing into a caller-owned buffer via `scratch`.
+/// Short inputs use the direct algorithm (still allocation-free: the output
+/// buffer is reused).
+pub fn autoconvolve_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<f64>) {
+    if x.len() < 64 {
+        out.clear();
+        if x.is_empty() {
+            return;
+        }
+        out.resize(2 * x.len() - 1, 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, &xj) in x.iter().enumerate() {
+                out[i + j] += xi * xj;
+            }
+        }
+    } else {
+        convolve_fft_with(scratch, x, x, out);
+    }
+}
+
+/// [`autoconvolve_argmax`] with intermediates drawn from `scratch`.
+pub fn autoconvolve_argmax_with(scratch: &mut DspScratch, x: &[f64]) -> Option<usize> {
+    let mut ac = scratch.take_real();
+    autoconvolve_with(scratch, x, &mut ac);
+    let best = (0..ac.len()).max_by(|&i, &j| ac[i].abs().total_cmp(&ac[j].abs()));
+    scratch.put_real(ac);
+    best
 }
 
 /// Index of the maximum-magnitude entry of the auto-convolution, i.e. the

@@ -7,6 +7,8 @@
 
 use crate::complex::Complex64;
 use crate::error::DspError;
+use crate::plan::FftPlan;
+#[cfg(test)]
 use std::f64::consts::PI;
 
 /// Returns the smallest power of two that is `>= n` (and at least 1).
@@ -31,50 +33,15 @@ pub fn is_pow2(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
 }
 
-fn bit_reverse_permute(data: &mut [Complex64]) {
-    let n = data.len();
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-}
-
+/// One-shot transform: builds a throwaway [`FftPlan`] and executes it.
+/// Callers that transform the same size repeatedly should keep a plan (or
+/// a [`crate::plan::DspScratch`]) instead — that is where the planning
+/// cost amortizes away.
 fn fft_in_place_dir(data: &mut [Complex64], inverse: bool) {
-    let n = data.len();
-    debug_assert!(is_pow2(n));
-    bit_reverse_permute(data);
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex64::ONE;
-            let half = len / 2;
-            for i in 0..half {
-                let u = chunk[i];
-                let v = chunk[i + half] * w;
-                chunk[i] = u + v;
-                chunk[i + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-    if inverse {
-        let inv_n = 1.0 / n as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(inv_n);
-        }
-    }
+    debug_assert!(is_pow2(data.len()));
+    let plan = FftPlan::new(data.len()).expect("power-of-two FFT length");
+    plan.execute_in_place(data, inverse)
+        .expect("buffer length matches the plan it was built from");
 }
 
 /// Computes the in-place forward FFT of a power-of-two-length buffer.

@@ -6,20 +6,37 @@
 //! negative-frequency half of the spectrum.
 
 use crate::complex::Complex64;
-use crate::fft::{fft, ifft, next_pow2};
+use crate::fft::next_pow2;
+use crate::plan::DspScratch;
 
 /// Computes the analytic signal of `x` (zero-padded to a power of two;
 /// only the first `x.len()` samples are returned).
 pub fn analytic_signal(x: &[f64]) -> Vec<Complex64> {
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    analytic_signal_with(&mut scratch, x, &mut out);
+    out
+}
+
+/// [`analytic_signal`] writing into a caller-owned buffer, with plans and
+/// intermediates drawn from `scratch` — allocation-free once warm.
+pub fn analytic_signal_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<Complex64>) {
+    out.clear();
     if x.is_empty() {
-        return Vec::new();
+        return;
     }
     let n = next_pow2(x.len());
-    let mut buf = vec![Complex64::ZERO; n];
-    for (dst, &src) in buf.iter_mut().zip(x) {
-        *dst = Complex64::from_real(src);
-    }
-    let mut spec = fft(&buf);
+    let rplan = scratch
+        .real_plan(n)
+        .expect("next_pow2 yields a valid plan size");
+    let cplan = scratch
+        .plan(n)
+        .expect("next_pow2 yields a valid plan size");
+    let mut work = scratch.take_complex();
+    let mut spec = scratch.take_complex();
+    rplan
+        .forward_into(x, &mut work, &mut spec)
+        .expect("input fits the padded plan");
     // One-sided doubling: keep DC and Nyquist, double positives, zero
     // negatives.
     let half = n / 2;
@@ -32,7 +49,12 @@ pub fn analytic_signal(x: &[f64]) -> Vec<Complex64> {
             *z = Complex64::ZERO;
         }
     }
-    ifft(&spec)[..x.len()].to_vec()
+    cplan
+        .inverse(&mut spec)
+        .expect("spectrum length matches the plan");
+    out.extend_from_slice(&spec[..x.len()]);
+    scratch.put_complex(spec);
+    scratch.put_complex(work);
 }
 
 /// The envelope `|analytic(x)|` of a signal.
@@ -50,6 +72,15 @@ pub fn analytic_signal(x: &[f64]) -> Vec<Complex64> {
 /// ```
 pub fn envelope(x: &[f64]) -> Vec<f64> {
     analytic_signal(x).into_iter().map(|z| z.norm()).collect()
+}
+
+/// [`envelope`] writing into a caller-owned buffer via `scratch`.
+pub fn envelope_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<f64>) {
+    let mut analytic = scratch.take_complex();
+    analytic_signal_with(scratch, x, &mut analytic);
+    out.clear();
+    out.extend(analytic.iter().map(|z| z.norm()));
+    scratch.put_complex(analytic);
 }
 
 /// Subsample peak position of `x` near index `guess` (searching ±`radius`)

@@ -7,6 +7,8 @@
 //! implemented here, from scratch, with no external DSP dependencies:
 //!
 //! * [`fft`] — iterative radix-2 fast Fourier transform and helpers,
+//! * [`plan`] — planned FFTs (precomputed twiddles, real-input halving)
+//!   and the [`DspScratch`] buffer workspace for allocation-free reuse,
 //! * [`filter`] — biquad cascades and Butterworth band-pass design,
 //! * [`window`] — Hann/Hamming/Blackman tapers,
 //! * [`psd`] — periodogram and Welch power-spectral-density estimates,
@@ -60,7 +62,9 @@ pub mod interp;
 pub mod mel;
 pub mod mfcc;
 pub mod peak;
+pub mod plan;
 pub mod psd;
+pub mod rng;
 pub mod smoothing;
 pub mod spectrogram;
 pub mod wav;
@@ -70,3 +74,4 @@ pub mod window;
 
 pub use complex::Complex64;
 pub use error::DspError;
+pub use plan::{DspScratch, FftPlan, RealFftPlan};

@@ -150,6 +150,19 @@ impl MelFilterBank {
     /// Returns [`DspError::InvalidLength`] if the spectrum length does not
     /// match the bank's FFT size.
     pub fn apply(&self, power_spectrum: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut out = Vec::with_capacity(self.filters.len());
+        self.apply_into(power_spectrum, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MelFilterBank::apply`] writing into a caller-owned buffer
+    /// (cleared and refilled) — allocation-free once the buffer has grown
+    /// to the bank size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MelFilterBank::apply`].
+    pub fn apply_into(&self, power_spectrum: &[f64], out: &mut Vec<f64>) -> Result<(), DspError> {
         let expect = self.n_fft / 2 + 1;
         if power_spectrum.len() != expect {
             return Err(DspError::InvalidLength {
@@ -157,11 +170,13 @@ impl MelFilterBank {
                 actual: power_spectrum.len(),
             });
         }
-        Ok(self
-            .filters
-            .iter()
-            .map(|taps| taps.iter().map(|&(k, w)| w * power_spectrum[k]).sum())
-            .collect())
+        out.clear();
+        out.extend(
+            self.filters
+                .iter()
+                .map(|taps| taps.iter().map(|&(k, w)| w * power_spectrum[k]).sum::<f64>()),
+        );
+        Ok(())
     }
 
     /// Centre frequency (Hz) of each filter.

@@ -7,11 +7,12 @@
 //! used" (paper §IV-C-2). This module implements exactly that chain for a
 //! single echo segment, plus framed extraction for longer signals.
 
-use crate::dct::dct2_orthonormal;
 use crate::error::DspError;
-use crate::fft::{fft_real_padded, next_pow2};
+use crate::fft::next_pow2;
 use crate::mel::MelFilterBank;
+use crate::plan::DspScratch;
 use crate::window::Window;
+use std::f64::consts::PI;
 
 /// Floor applied before the log to keep silent bands finite.
 const LOG_FLOOR: f64 = 1e-12;
@@ -126,24 +127,80 @@ impl MfccExtractor {
     ///
     /// Returns [`DspError::EmptyInput`] if the segment is empty.
     pub fn extract(&self, segment: &[f64]) -> Result<Vec<f64>, DspError> {
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::with_capacity(self.config.n_coeffs);
+        self.extract_into(&mut scratch, segment, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MfccExtractor::extract`] writing into a caller-owned buffer, with
+    /// the FFT plan and every intermediate (windowed frame, spectrum, power,
+    /// mel energies) drawn from `scratch` — allocation-free once warm.
+    ///
+    /// Only the `n_coeffs` retained cepstral coefficients are computed,
+    /// rather than the full DCT.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MfccExtractor::extract`].
+    pub fn extract_into(
+        &self,
+        scratch: &mut DspScratch,
+        segment: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
         if segment.is_empty() {
             return Err(DspError::EmptyInput);
         }
         let take = segment.len().min(self.n_fft);
-        let frame = self.config.window.apply(&segment[..take]);
-        let spec = fft_real_padded(&frame, self.n_fft);
+        let mut frame = scratch.take_real();
+        frame.extend_from_slice(&segment[..take]);
+        self.config.window.apply_in_place(&mut frame);
+
+        let plan = scratch.real_plan(self.n_fft)?;
+        let mut work = scratch.take_complex();
+        let mut spec = scratch.take_complex();
+        plan.forward_into(&frame, &mut work, &mut spec)?;
+
         let n_bins = self.n_fft / 2 + 1;
-        let power: Vec<f64> = spec[..n_bins]
-            .iter()
-            .map(|z| z.norm_sqr() / self.n_fft as f64)
-            .collect();
-        let mel_energies = self.bank.apply(&power)?;
-        let log_energies: Vec<f64> = mel_energies
-            .iter()
-            .map(|&e| (e.max(LOG_FLOOR)).ln())
-            .collect();
-        let cepstrum = dct2_orthonormal(&log_energies);
-        Ok(cepstrum[..self.config.n_coeffs].to_vec())
+        let mut power = frame; // the windowed frame is spent: reuse it
+        power.clear();
+        power.extend(
+            spec[..n_bins]
+                .iter()
+                .map(|z| z.norm_sqr() / self.n_fft as f64),
+        );
+        let mut mel_energies = scratch.take_real();
+        let applied = self.bank.apply_into(&power, &mut mel_energies);
+        scratch.put_complex(spec);
+        scratch.put_complex(work);
+        scratch.put_real(power);
+        if let Err(e) = applied {
+            scratch.put_real(mel_energies);
+            return Err(e);
+        }
+        for e in mel_energies.iter_mut() {
+            *e = e.max(LOG_FLOOR).ln();
+        }
+
+        // Orthonormal DCT-II, computing only the retained coefficients.
+        let nf = mel_energies.len() as f64;
+        out.clear();
+        for k in 0..self.config.n_coeffs {
+            let sum: f64 = mel_energies
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * (PI / nf * (i as f64 + 0.5) * k as f64).cos())
+                .sum();
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            out.push(sum * scale);
+        }
+        scratch.put_real(mel_energies);
+        Ok(())
     }
 
     /// Extracts MFCCs for consecutive frames of `frame_len` samples advanced

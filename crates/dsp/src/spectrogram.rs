@@ -5,7 +5,8 @@
 //! schedule inside a recording).
 
 use crate::error::DspError;
-use crate::fft::fft_real_padded;
+use crate::fft::next_pow2;
+use crate::plan::DspScratch;
 use crate::window::Window;
 
 /// A magnitude spectrogram: `frames × bins` with the associated axes.
@@ -38,6 +39,27 @@ impl Spectrogram {
         n_fft: usize,
         window: Window,
     ) -> Result<Spectrogram, DspError> {
+        let mut scratch = DspScratch::new();
+        Self::compute_with(&mut scratch, signal, fs, frame_len, hop, n_fft, window)
+    }
+
+    /// [`Spectrogram::compute`] with the FFT plan and per-frame buffers
+    /// drawn from `scratch`, so repeated calls (and the per-frame loop
+    /// itself) stop allocating intermediates. The returned spectrogram
+    /// still owns its magnitude rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spectrogram::compute`].
+    pub fn compute_with(
+        scratch: &mut DspScratch,
+        signal: &[f64],
+        fs: f64,
+        frame_len: usize,
+        hop: usize,
+        n_fft: usize,
+        window: Window,
+    ) -> Result<Spectrogram, DspError> {
         if signal.is_empty() {
             return Err(DspError::EmptyInput);
         }
@@ -59,18 +81,28 @@ impl Spectrogram {
                 actual: signal.len(),
             });
         }
+        let actual_n = next_pow2(n_fft.max(frame_len));
+        let plan = scratch.real_plan(actual_n)?;
+        let mut frame = scratch.take_real();
+        let mut work = scratch.take_complex();
+        let mut spec = scratch.take_complex();
         let mut magnitudes = Vec::new();
         let mut times = Vec::new();
         let mut start = 0usize;
         let mut n_bins = 0usize;
         while start + frame_len <= signal.len() {
-            let frame = window.apply(&signal[start..start + frame_len]);
-            let spec = fft_real_padded(&frame, n_fft.max(frame_len));
+            frame.clear();
+            frame.extend_from_slice(&signal[start..start + frame_len]);
+            window.apply_in_place(&mut frame);
+            plan.forward_into(&frame, &mut work, &mut spec)?;
             n_bins = spec.len() / 2 + 1;
             magnitudes.push(spec[..n_bins].iter().map(|z| z.norm()).collect());
             times.push((start + frame_len / 2) as f64 / fs);
             start += hop;
         }
+        scratch.put_complex(spec);
+        scratch.put_complex(work);
+        scratch.put_real(frame);
         let actual_fft = (n_bins - 1) * 2;
         let frequencies = (0..n_bins)
             .map(|k| k as f64 * fs / actual_fft as f64)

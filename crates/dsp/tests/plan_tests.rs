@@ -1,0 +1,173 @@
+//! Planner correctness: planned transforms must agree with the one-shot
+//! free functions bit-for-bit in semantics (round trips, Parseval,
+//! Hermitian symmetry) across every size the pipeline uses.
+
+use earsonar_dsp::fft::{fft, fft_real, ifft};
+use earsonar_dsp::plan::{DspScratch, FftPlan, RealFftPlan};
+use earsonar_dsp::rng::DetRng;
+use earsonar_dsp::Complex64;
+
+const SIZES: [usize; 8] = [1, 2, 4, 8, 64, 512, 2048, 4096];
+
+fn random_real(rng: &mut DetRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+fn random_complex(rng: &mut DetRng, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| Complex64::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+        .collect()
+}
+
+#[test]
+fn planned_forward_matches_free_fft() {
+    for (s, &n) in SIZES.iter().enumerate() {
+        let mut rng = DetRng::seed_from_u64(s as u64);
+        let x = random_complex(&mut rng, n);
+        let reference = fft(&x);
+        let plan = FftPlan::new(n).unwrap();
+        let mut buf = x.clone();
+        plan.forward(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&reference) {
+            assert!((*a - *b).norm() < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn planned_round_trip_recovers_signal() {
+    for (s, &n) in SIZES.iter().enumerate() {
+        let mut rng = DetRng::seed_from_u64(100 + s as u64);
+        let x = random_complex(&mut rng, n);
+        let plan = FftPlan::new(n).unwrap();
+        let mut buf = x.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-10 * n as f64, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn real_plan_matches_free_fft_real() {
+    for (s, &n) in SIZES.iter().enumerate() {
+        let mut rng = DetRng::seed_from_u64(200 + s as u64);
+        let x = random_real(&mut rng, n);
+        let reference = fft_real(&x);
+        let plan = RealFftPlan::new(n).unwrap();
+        let (mut work, mut spec) = (Vec::new(), Vec::new());
+        plan.forward_into(&x, &mut work, &mut spec).unwrap();
+        assert_eq!(spec.len(), reference.len(), "n = {n}");
+        for (a, b) in spec.iter().zip(&reference) {
+            assert!((*a - *b).norm() < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn real_plan_round_trip_recovers_signal() {
+    for (s, &n) in SIZES.iter().enumerate() {
+        let mut rng = DetRng::seed_from_u64(300 + s as u64);
+        let x = random_real(&mut rng, n);
+        let plan = RealFftPlan::new(n).unwrap();
+        let (mut work, mut spec, mut back) = (Vec::new(), Vec::new(), Vec::new());
+        plan.forward_into(&x, &mut work, &mut spec).unwrap();
+        plan.inverse_into(&spec, &mut work, &mut back).unwrap();
+        assert_eq!(back.len(), n);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10 * n as f64, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn real_plan_inverse_matches_free_ifft() {
+    // Inverse of a Hermitian spectrum must agree with the generic complex
+    // inverse's real part.
+    for &n in &[8usize, 256, 1024] {
+        let mut rng = DetRng::seed_from_u64(n as u64);
+        let x = random_real(&mut rng, n);
+        let spec = fft_real(&x);
+        let reference: Vec<f64> = ifft(&spec).into_iter().map(|z| z.re).collect();
+        let plan = RealFftPlan::new(n).unwrap();
+        let (mut work, mut back) = (Vec::new(), Vec::new());
+        plan.inverse_into(&spec, &mut work, &mut back).unwrap();
+        for (a, b) in back.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-10 * n as f64, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn real_plan_zero_pads_short_input() {
+    let plan = RealFftPlan::new(16).unwrap();
+    let (mut work, mut spec) = (Vec::new(), Vec::new());
+    plan.forward_into(&[1.0, 2.0, 3.0], &mut work, &mut spec).unwrap();
+    let mut padded = vec![0.0; 16];
+    padded[..3].copy_from_slice(&[1.0, 2.0, 3.0]);
+    let reference = fft_real(&padded);
+    for (a, b) in spec.iter().zip(&reference) {
+        assert!((*a - *b).norm() < 1e-12);
+    }
+}
+
+#[test]
+fn planned_transform_preserves_parseval_energy() {
+    for &n in &[128usize, 2048] {
+        let mut rng = DetRng::seed_from_u64(400 + n as u64);
+        let x = random_real(&mut rng, n);
+        let plan = RealFftPlan::new(n).unwrap();
+        let (mut work, mut spec) = (Vec::new(), Vec::new());
+        plan.forward_into(&x, &mut work, &mut spec).unwrap();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0),
+            "n = {n}: {time_energy} vs {freq_energy}"
+        );
+    }
+}
+
+#[test]
+fn real_plan_spectrum_is_hermitian() {
+    for &n in &[64usize, 4096] {
+        let mut rng = DetRng::seed_from_u64(500 + n as u64);
+        let x = random_real(&mut rng, n);
+        let plan = RealFftPlan::new(n).unwrap();
+        let (mut work, mut spec) = (Vec::new(), Vec::new());
+        plan.forward_into(&x, &mut work, &mut spec).unwrap();
+        assert!(spec[0].im.abs() < 1e-12, "DC bin must be real");
+        assert!(spec[n / 2].im.abs() < 1e-12, "Nyquist bin must be real");
+        for k in 1..n / 2 {
+            let d = (spec[k] - spec[n - k].conj()).norm();
+            assert!(d < 1e-12 * n as f64, "n = {n}, bin {k}");
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_is_bit_identical_to_fresh_plans() {
+    // The batch pipeline relies on this: a warm scratch must produce the
+    // same bits as a cold one.
+    let mut warm = DspScratch::new();
+    let mut rng = DetRng::seed_from_u64(600);
+    for round in 0..3 {
+        for &n in &[256usize, 1024] {
+            let x = random_real(&mut rng, n);
+            let plan = warm.real_plan(n).unwrap();
+            let mut work = warm.take_complex();
+            let mut spec = warm.take_complex();
+            plan.forward_into(&x, &mut work, &mut spec).unwrap();
+
+            let cold_plan = RealFftPlan::new(n).unwrap();
+            let (mut cw, mut cs) = (Vec::new(), Vec::new());
+            cold_plan.forward_into(&x, &mut cw, &mut cs).unwrap();
+            assert_eq!(spec, cs, "round {round}, n = {n}");
+
+            warm.put_complex(spec);
+            warm.put_complex(work);
+        }
+    }
+}

@@ -7,8 +7,7 @@
 //! data leaks between train and test.
 
 use crate::error::MlError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use earsonar_dsp::rng::DetRng;
 
 /// One train/test split: indices into the sample array.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,10 +85,10 @@ pub fn k_fold(n: usize, k: usize, seed: u64) -> Result<Vec<Split>, MlError> {
         });
     }
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     // Fisher-Yates shuffle.
     for i in (1..n).rev() {
-        let j = rng.random_range(0..=i);
+        let j = rng.range_inclusive(0, i);
         idx.swap(i, j);
     }
     let mut splits = Vec::with_capacity(k);
@@ -132,7 +131,7 @@ pub fn stratified_split(
             constraint: "must lie strictly between 0 and 1",
         });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut classes: Vec<usize> = labels.to_vec();
     classes.sort_unstable();
     classes.dedup();
@@ -146,7 +145,7 @@ pub fn stratified_split(
             .map(|(i, _)| i)
             .collect();
         for i in (1..members.len()).rev() {
-            let j = rng.random_range(0..=i);
+            let j = rng.range_inclusive(0, i);
             members.swap(i, j);
         }
         let take = ((members.len() as f64 * train_fraction).round() as usize)

@@ -9,8 +9,7 @@
 
 use crate::distance::squared_euclidean;
 use crate::error::MlError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use earsonar_dsp::rng::DetRng;
 
 /// Configuration for [`KMeans::fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +61,7 @@ impl KMeans {
         validate(data, config)?;
         let mut best: Option<KMeans> = None;
         for restart in 0..config.n_init {
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
+            let mut rng = DetRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
             let run = lloyd(data, config, &mut rng);
             if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
                 best = Some(run);
@@ -233,10 +232,10 @@ fn nearest_centroid(sample: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 /// k-means++ seeding: the first centre is uniform, each next centre is drawn
 /// with probability proportional to its squared distance from the nearest
 /// existing centre.
-fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut DetRng) -> Vec<Vec<f64>> {
     let n = data.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(data[rng.random_range(0..n)].clone());
+    centroids.push(data[rng.below(n)].clone());
     let mut d2: Vec<f64> = data
         .iter()
         .map(|x| squared_euclidean(x, &centroids[0]))
@@ -245,9 +244,9 @@ fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>>
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with existing centres; pick uniformly.
-            rng.random_range(0..n)
+            rng.below(n)
         } else {
-            let mut target = rng.random_range(0.0..total);
+            let mut target = rng.uniform(0.0, total);
             let mut chosen = n - 1;
             for (i, &w) in d2.iter().enumerate() {
                 if target < w {
@@ -270,7 +269,7 @@ fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>>
     centroids
 }
 
-fn lloyd(data: &[Vec<f64>], config: &KMeansConfig, rng: &mut StdRng) -> KMeans {
+fn lloyd(data: &[Vec<f64>], config: &KMeansConfig, rng: &mut DetRng) -> KMeans {
     let centroids = kmeanspp_init(data, config.k, rng);
     lloyd_from(data, centroids, config)
 }

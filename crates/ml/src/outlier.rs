@@ -13,8 +13,7 @@
 use crate::distance::euclidean;
 use crate::error::MlError;
 use crate::kmeans::{KMeans, KMeansConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use earsonar_dsp::rng::DetRng;
 
 /// Result of an outlier-removal pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,11 +128,11 @@ pub fn fit_on_random_sample(
     let take = ((data.len() as f64 * fraction).round() as usize)
         .clamp(1, data.len())
         .max(config.k);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     // Partial Fisher-Yates for a uniform subsample without replacement.
     let mut idx: Vec<usize> = (0..data.len()).collect();
     for i in 0..take.min(data.len() - 1) {
-        let j = rng.random_range(i..data.len());
+        let j = rng.range_usize(i, data.len());
         idx.swap(i, j);
     }
     let sample: Vec<Vec<f64>> = idx[..take.min(data.len())]

@@ -1,5 +1,9 @@
-//! Property-based tests for the learning substrate.
+//! Randomized-property tests for the learning substrate.
+//!
+//! Formerly `proptest`-based; the hermetic (no-crates.io) build ports each
+//! property to a deterministic loop over seeded [`DetRng`] inputs.
 
+use earsonar_dsp::rng::DetRng;
 use earsonar_ml::crossval::{k_fold, leave_one_group_out, stratified_split};
 use earsonar_ml::distance::{cosine, euclidean, manhattan};
 use earsonar_ml::kmeans::{KMeans, KMeansConfig};
@@ -7,7 +11,6 @@ use earsonar_ml::knn::KnnClassifier;
 use earsonar_ml::metrics::ConfusionMatrix;
 use earsonar_ml::scaler::StandardScaler;
 use earsonar_ml::silhouette::silhouette_samples;
-use proptest::prelude::*;
 
 fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
     // Deterministic pseudo-random points, mildly clustered.
@@ -26,103 +29,140 @@ fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn distances_satisfy_metric_basics(
-        (a, b) in (1usize..16).prop_flat_map(|n| (
-            prop::collection::vec(-100f64..100.0, n),
-            prop::collection::vec(-100f64..100.0, n),
-        )),
-    ) {
+#[test]
+fn distances_satisfy_metric_basics() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(1, 16);
+        let a: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-100.0, 100.0)).collect();
         for d in [euclidean(&a, &b), manhattan(&a, &b)] {
-            prop_assert!(d >= 0.0);
+            assert!(d >= 0.0, "seed {seed}");
         }
-        prop_assert!(euclidean(&a, &a) == 0.0);
-        prop_assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-12);
+        assert!(euclidean(&a, &a) == 0.0, "seed {seed}");
+        assert!(
+            (euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-12,
+            "seed {seed}"
+        );
         let c = cosine(&a, &b);
-        prop_assert!((0.0..=2.0 + 1e-12).contains(&c));
+        assert!((0.0..=2.0 + 1e-12).contains(&c), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kmeans_labels_are_consistent_with_centroids(seed in 0u64..100, n in 8usize..40) {
+#[test]
+fn kmeans_labels_are_consistent_with_centroids() {
+    for seed in 0..32u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(8, 40);
         let data = dataset(n, 3, seed);
         let model = KMeans::fit(
             &data,
-            &KMeansConfig { k: 3.min(n), n_init: 3, seed, ..Default::default() },
-        ).unwrap();
+            &KMeansConfig {
+                k: 3.min(n),
+                n_init: 3,
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Every sample's stored label is its nearest centroid.
         for (x, &l) in data.iter().zip(model.labels()) {
-            prop_assert_eq!(model.predict(x), l);
+            assert_eq!(model.predict(x), l, "seed {seed}");
         }
-        prop_assert!(model.inertia() >= 0.0);
+        assert!(model.inertia() >= 0.0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn kmeans_inertia_not_increased_by_more_clusters(seed in 0u64..50) {
+#[test]
+fn kmeans_inertia_not_increased_by_more_clusters() {
+    for seed in 0..24u64 {
         let data = dataset(30, 2, seed);
         let fit = |k: usize| {
-            KMeans::fit(&data, &KMeansConfig { k, n_init: 8, seed: 1, ..Default::default() })
-                .unwrap()
-                .inertia()
+            KMeans::fit(
+                &data,
+                &KMeansConfig {
+                    k,
+                    n_init: 8,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .inertia()
         };
         let i2 = fit(2);
         let i4 = fit(4);
-        prop_assert!(i4 <= i2 + 1e-6, "k=4 {i4} vs k=2 {i2}");
+        assert!(i4 <= i2 + 1e-6, "seed {seed}: k=4 {i4} vs k=2 {i2}");
     }
+}
 
-    #[test]
-    fn scaler_transform_is_invertible_in_distribution(seed in 0u64..100) {
+#[test]
+fn scaler_transform_is_invertible_in_distribution() {
+    for seed in 0..48u64 {
         let data = dataset(24, 4, seed);
         let (scaler, scaled) = StandardScaler::fit_transform(&data).unwrap();
         // Mean ~0, variance ~1 per dimension.
         for d in 0..4 {
             let col: Vec<f64> = scaled.iter().map(|r| r[d]).collect();
             let mean = col.iter().sum::<f64>() / col.len() as f64;
-            prop_assert!(mean.abs() < 1e-9);
+            assert!(mean.abs() < 1e-9, "seed {seed}");
         }
         // Re-applying the fitted transform to the original data matches.
         let again = scaler.transform(&data).unwrap();
-        prop_assert_eq!(scaled, again);
+        assert_eq!(scaled, again, "seed {seed}");
     }
+}
 
-    #[test]
-    fn knn_memorizes_training_set(seed in 0u64..100) {
+#[test]
+fn knn_memorizes_training_set() {
+    for seed in 0..48u64 {
         let data = dataset(18, 3, seed);
         let labels: Vec<usize> = (0..18).map(|i| i % 3).collect();
         let knn = KnnClassifier::fit(&data, &labels, 1, 3).unwrap();
         for (x, &l) in data.iter().zip(&labels) {
-            prop_assert_eq!(knn.predict(x).unwrap(), l);
+            assert_eq!(knn.predict(x).unwrap(), l, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn confusion_matrix_counts_conserve(
-        (labels, preds) in (4usize..64).prop_flat_map(|n| (
-            prop::collection::vec(0usize..4, n),
-            prop::collection::vec(0usize..4, n),
-        )),
-    ) {
+#[test]
+fn confusion_matrix_counts_conserve() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(4, 64);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
+        let preds: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
         let m = ConfusionMatrix::from_labels(&labels, &preds, 4).unwrap();
-        prop_assert_eq!(m.total(), labels.len());
+        assert_eq!(m.total(), labels.len(), "seed {seed}");
         // Accuracy is a mean of indicator variables.
-        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        assert!((0.0..=1.0).contains(&m.accuracy()), "seed {seed}");
         for c in 0..4 {
-            prop_assert!((0.0..=1.0).contains(&m.precision(c)));
-            prop_assert!((0.0..=1.0).contains(&m.recall(c)));
-            prop_assert!((0.0..=1.0).contains(&m.f1(c)));
-            prop_assert!((0.0..=1.0).contains(&m.far(c)));
-            prop_assert!((0.0..=1.0).contains(&m.frr(c)));
+            assert!((0.0..=1.0).contains(&m.precision(c)), "seed {seed}");
+            assert!((0.0..=1.0).contains(&m.recall(c)), "seed {seed}");
+            assert!((0.0..=1.0).contains(&m.f1(c)), "seed {seed}");
+            assert!((0.0..=1.0).contains(&m.far(c)), "seed {seed}");
+            assert!((0.0..=1.0).contains(&m.frr(c)), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn logo_splits_partition_samples(groups in prop::collection::vec(0usize..6, 6..48)) {
-        prop_assume!({
+#[test]
+fn logo_splits_partition_samples() {
+    let mut tested = 0;
+    for seed in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(6, 48);
+        let groups: Vec<usize> = (0..n).map(|_| rng.below(6)).collect();
+        let distinct = {
             let mut g = groups.clone();
             g.sort_unstable();
             g.dedup();
-            g.len() >= 2
-        });
+            g.len()
+        };
+        if distinct < 2 {
+            continue;
+        }
+        tested += 1;
         let splits = leave_one_group_out(&groups).unwrap();
         let mut covered = vec![0usize; groups.len()];
         for s in &splits {
@@ -132,43 +172,58 @@ proptest! {
             // Train/test never share a group.
             for &t in &s.test {
                 for &tr in &s.train {
-                    prop_assert!(groups[t] != groups[tr]);
+                    assert!(groups[t] != groups[tr], "seed {seed}");
                 }
             }
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(covered.iter().all(|&c| c == 1), "seed {seed}");
     }
+    assert!(tested >= 48, "too many rejected cases");
+}
 
-    #[test]
-    fn kfold_partitions(n in 4usize..64, k in 2usize..5, seed in 0u64..20) {
-        prop_assume!(n >= k);
+#[test]
+fn kfold_partitions() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(4, 64);
+        let k = rng.range_usize(2, 5);
+        if n < k {
+            continue;
+        }
         let splits = k_fold(n, k, seed).unwrap();
         let mut covered = vec![0usize; n];
         for s in &splits {
             for &i in &s.test {
                 covered[i] += 1;
             }
-            prop_assert_eq!(s.train.len() + s.test.len(), n);
+            assert_eq!(s.train.len() + s.test.len(), n, "seed {seed}");
         }
-        prop_assert!(covered.iter().all(|&c| c == 1));
+        assert!(covered.iter().all(|&c| c == 1), "seed {seed}");
     }
+}
 
-    #[test]
-    fn stratified_split_is_disjoint_and_complete(
-        labels in prop::collection::vec(0usize..3, 8..64),
-        seed in 0u64..20,
-    ) {
+#[test]
+fn stratified_split_is_disjoint_and_complete() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(8, 64);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(3)).collect();
         let s = stratified_split(&labels, 0.7, seed).unwrap();
         let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        assert_eq!(all, (0..labels.len()).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn silhouette_values_are_bounded(seed in 0u64..50) {
+#[test]
+fn silhouette_values_are_bounded() {
+    for seed in 0..24u64 {
         let data = dataset(20, 2, seed);
         let labels: Vec<usize> = (0..20).map(|i| i % 3).collect();
         let s = silhouette_samples(&data, &labels).unwrap();
-        prop_assert!(s.iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(
+            s.iter().all(|v| (-1.0..=1.0).contains(v)),
+            "seed {seed}"
+        );
     }
 }

@@ -1,17 +1,17 @@
 //! Seeded randomness for the simulator.
 //!
-//! A thin wrapper over a seeded [`StdRng`] adding the variate families the
+//! A thin wrapper over the workspace's deterministic generator
+//! ([`earsonar_dsp::rng::DetRng`]) adding the variate families the
 //! simulator needs (Gaussian via Box–Muller, lognormal, clamped jitters).
-//! `rand_distr` is outside this project's dependency budget, so the
-//! transforms are implemented here.
+//! External randomness crates are outside this project's dependency budget
+//! — the build must be hermetic — so the transforms are implemented here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub use earsonar_dsp::rng::{mix, DetRng};
 
 /// A seeded simulation RNG.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: DetRng,
     spare_gaussian: Option<f64>,
 }
 
@@ -19,7 +19,7 @@ impl SimRng {
     /// Creates an RNG from a seed.
     pub fn seed_from_u64(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: DetRng::seed_from_u64(seed),
             spare_gaussian: None,
         }
     }
@@ -28,16 +28,13 @@ impl SimRng {
     /// stream label — lets hierarchical objects (cohort → patient →
     /// session) stay deterministic under reordering.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.random();
+        let base: u64 = self.inner.next_u64();
         SimRng::seed_from_u64(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform sample in `[lo, hi)`. Returns `lo` when the range is empty.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        if hi <= lo {
-            return lo;
-        }
-        self.inner.random_range(lo..hi)
+        self.inner.uniform(lo, hi)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -46,13 +43,13 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.inner.random_range(lo..hi)
+        self.inner.range_usize(lo, hi)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.random_range(0.0..1.0) < p
+        self.inner.next_f64() < p
     }
 
     /// Standard Gaussian sample (Box–Muller with spare caching).
@@ -61,8 +58,8 @@ impl SimRng {
             return z;
         }
         loop {
-            let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
-            let v: f64 = self.inner.random_range(0.0..std::f64::consts::TAU);
+            let u: f64 = self.inner.next_f64_open();
+            let v: f64 = self.inner.uniform(0.0, std::f64::consts::TAU);
             let r = (-2.0 * u.ln()).sqrt();
             let z0 = r * v.cos();
             let z1 = r * v.sin();

@@ -1,5 +1,9 @@
-//! Property-based tests for the clinical-study simulator.
+//! Randomized-property tests for the clinical-study simulator.
+//!
+//! Formerly `proptest`-based; the hermetic (no-crates.io) build ports each
+//! property to a deterministic loop over seeded [`DetRng`] inputs.
 
+use earsonar_dsp::rng::DetRng;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::device::EarphoneModel;
 use earsonar_sim::ear::EarCanal;
@@ -10,32 +14,41 @@ use earsonar_sim::recorder::{synthesize_recording, RecorderConfig};
 use earsonar_sim::rng::SimRng;
 use earsonar_sim::session::{Session, SessionConfig};
 use earsonar_sim::wearing::WearingAngle;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn cohorts_are_seed_deterministic(n in 1usize..12, seed in 0u64..500) {
+#[test]
+fn cohorts_are_seed_deterministic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let n = rng.range_usize(1, 12);
+        let seed = rng.next_u64() % 500;
         let a = Cohort::generate(n, seed);
         let b = Cohort::generate(n, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn ear_geometry_respects_anatomy(seed in 0u64..500) {
+#[test]
+fn ear_geometry_respects_anatomy() {
+    for seed in 0..CASES * 4 {
         let mut rng = SimRng::seed_from_u64(seed);
         let ear = EarCanal::sample_child(&mut rng);
-        prop_assert!((0.015..=0.040).contains(&ear.eardrum_distance_m));
-        prop_assert!(ear.direct_gain < ear.eardrum_path_gain);
+        assert!(
+            (0.015..=0.040).contains(&ear.eardrum_distance_m),
+            "seed {seed}"
+        );
+        assert!(ear.direct_gain < ear.eardrum_path_gain, "seed {seed}");
         for &(d, g) in &ear.wall_paths {
-            prop_assert!(d < ear.eardrum_distance_m);
-            prop_assert!(g > 0.0 && g < 0.1);
+            assert!(d < ear.eardrum_distance_m, "seed {seed}");
+            assert!(g > 0.0 && g < 0.1, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn response_absorption_orders_with_severity(seed in 0u64..200) {
+#[test]
+fn response_absorption_orders_with_severity() {
+    for seed in 0..CASES {
         // At the dip centre, more severe states reflect less, on average
         // over visit randomness (single draws may overlap by design).
         let mut refls = Vec::new();
@@ -43,35 +56,50 @@ proptest! {
             let mut sum = 0.0;
             for k in 0..8u64 {
                 let mut rng = SimRng::seed_from_u64(seed * 31 + k);
-                sum += state.sample_response(18_000.0, &mut rng).reflectance_at(18_000.0);
+                sum += state
+                    .sample_response(18_000.0, &mut rng)
+                    .reflectance_at(18_000.0);
             }
             refls.push(sum / 8.0);
         }
-        prop_assert!(refls[0] > refls[1], "{refls:?}");
-        prop_assert!(refls[1] > refls[2], "{refls:?}");
+        assert!(refls[0] > refls[1], "seed {seed}: {refls:?}");
+        assert!(refls[1] > refls[2], "seed {seed}: {refls:?}");
     }
+}
 
-    #[test]
-    fn noise_amplitude_is_monotone_in_spl(a in 20f64..70.0, b in 20f64..70.0) {
-        prop_assume!(a < b);
-        prop_assert!(spl_to_amplitude(a) < spl_to_amplitude(b));
+#[test]
+fn noise_amplitude_is_monotone_in_spl() {
+    for case in 0..CASES * 4 {
+        let mut rng = DetRng::seed_from_u64(case);
+        let a = rng.uniform(20.0, 70.0);
+        let b = rng.uniform(20.0, 70.0);
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if a == b {
+            continue;
+        }
+        assert!(spl_to_amplitude(a) < spl_to_amplitude(b), "case {case}");
     }
+}
 
-    #[test]
-    fn ambient_noise_is_zero_mean(db in 30f64..65.0, seed in 0u64..100) {
+#[test]
+fn ambient_noise_is_zero_mean() {
+    for seed in 0..CASES * 2 {
+        let mut case_rng = DetRng::seed_from_u64(seed);
+        let db = case_rng.uniform(30.0, 65.0);
         let mut rng = SimRng::seed_from_u64(seed);
         let x = ambient_noise(4_096, db, &mut rng);
         let mean = x.iter().sum::<f64>() / x.len() as f64;
-        prop_assert!(mean.abs() < 5.0 * spl_to_amplitude(db));
+        assert!(mean.abs() < 5.0 * spl_to_amplitude(db), "seed {seed}");
     }
+}
 
-    #[test]
-    fn recordings_have_expected_layout(
-        seed in 0u64..100,
-        n_chirps in 1usize..8,
-        db in 25f64..60.0,
-        angle in 0f64..40.0,
-    ) {
+#[test]
+fn recordings_have_expected_layout() {
+    for seed in 0..CASES {
+        let mut case_rng = DetRng::seed_from_u64(seed);
+        let n_chirps = case_rng.range_usize(1, 8);
+        let db = case_rng.uniform(25.0, 60.0);
+        let angle = case_rng.uniform(0.0, 40.0);
         let mut rng = SimRng::seed_from_u64(seed);
         let ear = EarCanal::sample_child(&mut rng);
         let resp = MeeState::Serous.sample_response(18_000.0, &mut rng);
@@ -84,44 +112,68 @@ proptest! {
             ..Default::default()
         };
         let rec = synthesize_recording(&ear, &resp, &cfg, &mut rng);
-        prop_assert_eq!(rec.n_chirps, n_chirps);
-        prop_assert_eq!(rec.samples.len(), rec.chirp_hop * n_chirps);
-        prop_assert!(rec.samples.iter().all(|v| v.is_finite()));
+        assert_eq!(rec.n_chirps, n_chirps, "seed {seed}");
+        assert_eq!(rec.samples.len(), rec.chirp_hop * n_chirps, "seed {seed}");
+        assert!(rec.samples.iter().all(|v| v.is_finite()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn sessions_label_matches_patient_trajectory(seed in 0u64..200, day in 0u32..30) {
+#[test]
+fn sessions_label_matches_patient_trajectory() {
+    for seed in 0..CASES * 2 {
+        let mut case_rng = DetRng::seed_from_u64(seed);
+        let day = case_rng.range_usize(0, 30) as u32;
         let cohort = Cohort::generate(1, seed);
         let p = &cohort.patients()[0];
         let s = Session::record(p, day, &SessionConfig::default(), 0);
-        prop_assert_eq!(s.ground_truth, p.state_on_day(day));
-        prop_assert_eq!(s.patient_id, p.id);
-        prop_assert_eq!(s.day, day);
+        assert_eq!(s.ground_truth, p.state_on_day(day), "seed {seed}");
+        assert_eq!(s.patient_id, p.id, "seed {seed}");
+        assert_eq!(s.day, day, "seed {seed}");
     }
+}
 
-    #[test]
-    fn representative_days_are_self_consistent(seed in 0u64..200) {
+#[test]
+fn representative_days_are_self_consistent() {
+    for seed in 0..CASES * 4 {
         let cohort = Cohort::generate(1, seed);
         let p = &cohort.patients()[0];
         for (state, day) in earsonar_sim::dataset::representative_days(p) {
-            prop_assert_eq!(p.state_on_day(day), state);
+            assert_eq!(p.state_on_day(day), state, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn device_responses_are_positive_over_probe_band(f in 15_000f64..21_000.0) {
+#[test]
+fn device_responses_are_positive_over_probe_band() {
+    for case in 0..CASES * 4 {
+        let mut rng = DetRng::seed_from_u64(case);
+        let f = rng.uniform(15_000.0, 21_000.0);
         for m in EarphoneModel::ALL {
-            prop_assert!(m.response_gain(f) > 0.0);
+            assert!(m.response_gain(f) > 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn wearing_angle_factors_degrade_monotonically(a in 0f64..40.0, b in 0f64..40.0) {
-        prop_assume!(a < b);
+#[test]
+fn wearing_angle_factors_degrade_monotonically() {
+    for case in 0..CASES * 4 {
+        let mut rng = DetRng::seed_from_u64(case);
+        let a = rng.uniform(0.0, 40.0);
+        let b = rng.uniform(0.0, 40.0);
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if a == b {
+            continue;
+        }
         let wa = WearingAngle::new(a);
         let wb = WearingAngle::new(b);
-        prop_assert!(wa.eardrum_gain_factor() >= wb.eardrum_gain_factor());
-        prop_assert!(wa.wall_gain_factor() <= wb.wall_gain_factor());
-        prop_assert!(wa.extra_delay_jitter() <= wb.extra_delay_jitter());
+        assert!(
+            wa.eardrum_gain_factor() >= wb.eardrum_gain_factor(),
+            "case {case}"
+        );
+        assert!(wa.wall_gain_factor() <= wb.wall_gain_factor(), "case {case}");
+        assert!(
+            wa.extra_delay_jitter() <= wb.extra_delay_jitter(),
+            "case {case}"
+        );
     }
 }

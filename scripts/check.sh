@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI pass: build, tests, lints, and a benchmark smoke run.
+# Everything here is hermetic — no network, no external tools beyond the
+# Rust toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> perf_report smoke run"
+cargo run --release -p earsonar-bench --bin perf_report -- --smoke
+
+echo "All checks passed."

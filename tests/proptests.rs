@@ -1,34 +1,34 @@
-//! Cross-crate property-based tests: invariants that must hold for any
-//! seed, any patient, any condition the simulator can produce.
+//! Cross-crate randomized tests: invariants that must hold for any seed,
+//! any patient, any condition the simulator can produce.
+//!
+//! Formerly `proptest`-based; the hermetic (no-crates.io) build ports each
+//! property to a deterministic loop over seeded [`DetRng`] inputs.
 
 use earsonar::pipeline::FrontEnd;
 use earsonar::EarSonarConfig;
+use earsonar_dsp::rng::DetRng;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::motion::Motion;
 use earsonar_sim::session::{Session, SessionConfig};
 use earsonar_sim::wearing::WearingAngle;
-use proptest::prelude::*;
 
-fn any_motion() -> impl Strategy<Value = Motion> {
-    prop_oneof![
-        Just(Motion::Sit),
-        Just(Motion::HeadMove),
-        Just(Motion::Walking),
-        Just(Motion::Nodding),
-    ]
-}
+const MOTIONS: [Motion; 4] = [
+    Motion::Sit,
+    Motion::HeadMove,
+    Motion::Walking,
+    Motion::Nodding,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn any_session_produces_finite_features(
-        seed in 0u64..1000,
-        day in 0u32..30,
-        noise_db in 20f64..65.0,
-        angle in 0f64..40.0,
-        motion in any_motion(),
-    ) {
+#[test]
+fn any_session_produces_finite_features() {
+    let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+    for case in 0..16u64 {
+        let mut rng = DetRng::seed_from_u64(case);
+        let seed = rng.next_u64() % 1000;
+        let day = rng.below(30) as u32;
+        let noise_db = rng.uniform(20.0, 65.0);
+        let angle = rng.uniform(0.0, 40.0);
+        let motion = MOTIONS[rng.below(4)];
         let cohort = Cohort::generate(1, seed);
         let patient = &cohort.patients()[0];
         let session = Session::record(
@@ -42,51 +42,59 @@ proptest! {
             },
             seed,
         );
-        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
         // The pipeline may reject a hopeless capture, but must never
         // produce NaN/Inf features or panic.
         if let Ok(p) = fe.process(&session.recording) {
-            prop_assert_eq!(p.features.len(), earsonar::features::FEATURE_COUNT);
-            prop_assert!(p.features.iter().all(|v| v.is_finite()));
-            prop_assert!(p.chirps_used > 0);
-            prop_assert!(p.spectrum.band_power >= 0.0);
+            assert_eq!(p.features.len(), earsonar::features::FEATURE_COUNT);
+            assert!(p.features.iter().all(|v| v.is_finite()), "case {case}");
+            assert!(p.chirps_used > 0, "case {case}");
+            assert!(p.spectrum.band_power >= 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ground_truth_never_regresses(seed in 0u64..500) {
+#[test]
+fn ground_truth_never_regresses() {
+    for seed in 0..64u64 {
         let cohort = Cohort::generate(1, seed);
         let p = &cohort.patients()[0];
         let mut prev = usize::MAX;
         for day in 0..30 {
             let sev = p.state_on_day(day).severity();
-            prop_assert!(sev <= prev);
+            assert!(sev <= prev, "seed {seed}");
             prev = sev;
         }
     }
+}
 
-    #[test]
-    fn recordings_are_bounded_and_reproducible(seed in 0u64..300) {
+#[test]
+fn recordings_are_bounded_and_reproducible() {
+    for seed in 0..24u64 {
         let cohort = Cohort::generate(1, seed);
         let p = &cohort.patients()[0];
         let cfg = SessionConfig::default();
         let a = Session::record(p, 2, &cfg, seed);
         let b = Session::record(p, 2, &cfg, seed);
-        prop_assert_eq!(&a.recording.samples, &b.recording.samples);
+        assert_eq!(&a.recording.samples, &b.recording.samples, "seed {seed}");
         // Physical amplitudes: probe is unit amplitude, channel is passive.
-        prop_assert!(a.recording.samples.iter().all(|v| v.abs() < 4.0));
+        assert!(
+            a.recording.samples.iter().all(|v| v.abs() < 4.0),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn echo_delays_respect_the_anatomical_prior(seed in 0u64..200) {
+#[test]
+fn echo_delays_respect_the_anatomical_prior() {
+    let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+    for seed in 0..24u64 {
         let cohort = Cohort::generate(1, seed);
         let p = &cohort.patients()[0];
         let session = Session::record(p, 29, &SessionConfig::default(), 0);
-        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
         if let Ok(out) = fe.process(&session.recording) {
             for echo in &out.echoes {
                 let d = echo.delay_samples();
-                prop_assert!((3..=16).contains(&d), "delay {}", d);
+                assert!((3..=16).contains(&d), "seed {seed}: delay {}", d);
             }
         }
     }
