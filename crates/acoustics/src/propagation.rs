@@ -5,10 +5,23 @@
 //! canal walls, and the eardrum echo (paper Eq. 4–5). Each path contributes
 //! a delayed, attenuated — and for the eardrum, spectrally shaped — copy of
 //! the transmitted signal.
+//!
+//! Two execution styles are offered for every spectral operation:
+//!
+//! * **one-shot free functions** ([`delay_fractional_allpass`],
+//!   [`apply_frequency_response`]) that allocate their own buffers and build
+//!   a throwaway FFT plan — convenient for tests and doc examples,
+//! * **planned `_with` variants** drawing plans and buffers from a
+//!   [`DspScratch`], plus [`SpectralDelayLine`] for accumulating many
+//!   delayed copies of one signal with a *single* inverse transform — the
+//!   hot path of the recording simulator.
 
 use crate::constants::SPEED_OF_SOUND_AIR;
 use earsonar_dsp::complex::Complex64;
-use earsonar_dsp::fft::{fft, ifft, next_pow2};
+use earsonar_dsp::error::DspError;
+use earsonar_dsp::fft::next_pow2;
+use earsonar_dsp::plan::{DspScratch, RealFftPlan};
+use std::f64::consts::PI;
 
 /// One propagation path: a delay and a broadband gain.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +58,39 @@ pub fn distance_from_delay_samples(samples: f64, fs: f64) -> f64 {
     samples / fs * SPEED_OF_SOUND_AIR / 2.0
 }
 
+/// Signed frequency of bin `k` in an `n`-point FFT, in cycles/sample.
+///
+/// Bins up to `n/2` map to `[0, 0.5]`; bins above map to the negative
+/// frequencies `(-0.5, 0)`. Every spectral loop in this module (delay phase
+/// ramps, real frequency responses) derives its per-bin frequency from this
+/// one mapping, so the conventions cannot drift apart.
+pub fn signed_bin_frequency(k: usize, n: usize) -> f64 {
+    if k <= n / 2 {
+        k as f64 / n as f64
+    } else {
+        k as f64 / n as f64 - 1.0
+    }
+}
+
+/// The per-bin spectral multiplier of an allpass fractional delay:
+/// `exp(-2πi f_k d)` with the **Nyquist bin kept real**.
+///
+/// For even `n` the Nyquist bin (`k == n/2`) has no conjugate partner; a
+/// complex multiplier there would make the inverse transform of a real
+/// signal complex. The standard treatment — taking the real part of the
+/// phase factor, `cos(π d)` — preserves realness at the cost of attenuating
+/// the Nyquist component (to zero at half-sample delays). This is pinned by
+/// a regression test.
+pub fn delay_phase_multiplier(k: usize, n: usize, delay_samples: f64) -> Complex64 {
+    let f = signed_bin_frequency(k, n);
+    let phase = -2.0 * PI * f * delay_samples;
+    if n.is_multiple_of(2) && k == n / 2 {
+        Complex64::from_real(phase.cos())
+    } else {
+        Complex64::cis(phase)
+    }
+}
+
 /// Delays `x` by a fractional number of samples (linear interpolation),
 /// extending the output so no energy is truncated.
 pub fn delay_fractional(x: &[f64], delay_samples: f64, out_len: usize) -> Vec<f64> {
@@ -70,38 +116,241 @@ pub fn delay_fractional(x: &[f64], delay_samples: f64, out_len: usize) -> Vec<f6
 /// frequency-domain phase shift — unlike [`delay_fractional`]'s linear
 /// interpolation, the magnitude response is exactly flat, which matters
 /// when the delayed signal's in-band spectrum is the measurand.
+///
+/// One-shot wrapper over [`delay_fractional_allpass_with`]; repeated
+/// callers should hold a [`DspScratch`] and use the planned variant.
 pub fn delay_fractional_allpass(x: &[f64], delay_samples: f64, out_len: usize) -> Vec<f64> {
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    delay_fractional_allpass_with(x, delay_samples, out_len, &mut scratch, &mut out)
+        .expect("internally chosen power-of-two FFT sizes are always valid");
+    out
+}
+
+/// [`delay_fractional_allpass`] with the FFT plan and intermediate buffer
+/// drawn from a caller-owned [`DspScratch`]: with a warm scratch the call
+/// performs no allocation beyond growing `out` to `out_len`.
+///
+/// The transform size is `next_pow2(x.len() + ⌈delay⌉ + 1)`, exactly as the
+/// one-shot function chooses it, so results are identical.
+///
+/// # Errors
+///
+/// Propagates plan-construction errors from the scratch (not reachable for
+/// the sizes chosen here).
+pub fn delay_fractional_allpass_with(
+    x: &[f64],
+    delay_samples: f64,
+    out_len: usize,
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    out.clear();
+    out.resize(out_len, 0.0);
     if x.is_empty() || delay_samples < 0.0 || out_len == 0 {
-        return vec![0.0; out_len];
+        return Ok(());
     }
     let span = x.len() + delay_samples.ceil() as usize + 1;
     let n = next_pow2(span);
-    let mut buf = vec![Complex64::ZERO; n];
+    let plan = scratch.plan(n)?;
+    let mut buf = scratch.take_complex();
+    buf.resize(n, Complex64::ZERO);
     for (dst, &src) in buf.iter_mut().zip(x) {
         *dst = Complex64::from_real(src);
     }
-    let mut spec = fft(&buf);
-    let half = n / 2;
-    for (k, z) in spec.iter_mut().enumerate() {
-        // Signed bin frequency in cycles/sample.
-        let f = if k <= half {
-            k as f64 / n as f64
-        } else {
-            k as f64 / n as f64 - 1.0
-        };
-        let phase = -2.0 * std::f64::consts::PI * f * delay_samples;
-        if k == half {
-            // The Nyquist bin must stay real for the output to stay real;
-            // the real part of the phase factor is the standard treatment.
-            *z = z.scale(phase.cos());
-        } else {
-            *z *= Complex64::cis(phase);
-        }
+    plan.forward(&mut buf)?;
+    for (k, z) in buf.iter_mut().enumerate() {
+        *z *= delay_phase_multiplier(k, n, delay_samples);
     }
-    let time = ifft(&spec);
-    (0..out_len)
-        .map(|i| if i < time.len() { time[i].re } else { 0.0 })
-        .collect()
+    plan.inverse(&mut buf)?;
+    for (dst, z) in out.iter_mut().zip(buf.iter()) {
+        *dst = z.re;
+    }
+    scratch.put_complex(buf);
+    Ok(())
+}
+
+/// Filters `x` through an arbitrary real frequency response `gain(f_hz)`
+/// via FFT multiplication (zero-phase). Used to imprint the eardrum's
+/// reflectance spectrum onto the echo waveform.
+///
+/// One-shot wrapper over [`apply_frequency_response_with`].
+pub fn apply_frequency_response<F>(x: &[f64], fs: f64, gain: F) -> Vec<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    apply_frequency_response_with(x, fs, gain, &mut scratch, &mut out)
+        .expect("internally chosen power-of-two FFT sizes are always valid");
+    out
+}
+
+/// [`apply_frequency_response`] with the FFT plan and intermediate buffer
+/// drawn from a caller-owned [`DspScratch`]. The output keeps `x.len()`
+/// samples (the filter's circular tail beyond that is discarded, which is
+/// why callers pad their input with tail room for ringing).
+///
+/// # Errors
+///
+/// Propagates plan-construction errors from the scratch (not reachable for
+/// the sizes chosen here).
+pub fn apply_frequency_response_with<F>(
+    x: &[f64],
+    fs: f64,
+    gain: F,
+    scratch: &mut DspScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError>
+where
+    F: Fn(f64) -> f64,
+{
+    out.clear();
+    if x.is_empty() {
+        return Ok(());
+    }
+    let n = next_pow2(x.len() * 2);
+    let plan = scratch.plan(n)?;
+    let mut buf = scratch.take_complex();
+    buf.resize(n, Complex64::ZERO);
+    for (dst, &src) in buf.iter_mut().zip(x) {
+        *dst = Complex64::from_real(src);
+    }
+    plan.forward(&mut buf)?;
+    for (k, z) in buf.iter_mut().enumerate() {
+        let f_hz = signed_bin_frequency(k, n).abs() * fs;
+        *z = z.scale(gain(f_hz));
+    }
+    plan.inverse(&mut buf)?;
+    out.extend(buf[..x.len()].iter().map(|z| z.re));
+    scratch.put_complex(buf);
+    Ok(())
+}
+
+/// The frequency-domain image of a real signal, ready to be superposed
+/// into a shared spectral accumulator any number of times — each copy with
+/// its own allpass delay and gain — at zero FFT cost per copy.
+///
+/// This is the core of the simulator's spectral synthesis: instead of one
+/// FFT *pair* per propagation path per chirp, the source signal is
+/// transformed **once** ([`SpectralDelayLine::load`]), every path becomes a
+/// per-bin phase-ramp × gain added into an accumulator
+/// ([`SpectralDelayLine::accumulate_into`]), and one inverse transform per
+/// chirp recovers the superposed waveform. By linearity of the inverse FFT
+/// the result equals the per-path time-domain superposition at the same
+/// transform size exactly (up to rounding) — it is not an approximation.
+///
+/// Only bins `0..=n/2` of the accumulator are written; the upper half of a
+/// real signal's spectrum is redundant (Hermitian symmetry) and
+/// [`RealFftPlan::inverse_into`] reads only the lower half.
+///
+/// # Example
+///
+/// ```
+/// use earsonar_acoustics::propagation::SpectralDelayLine;
+/// use earsonar_dsp::plan::RealFftPlan;
+/// use earsonar_dsp::Complex64;
+///
+/// let plan = RealFftPlan::new(16).unwrap();
+/// let mut line = SpectralDelayLine::new();
+/// let mut work = Vec::new();
+/// line.load(&[1.0, 2.0], &plan, &mut work).unwrap();
+///
+/// // Two copies: unit gain at delay 0, half gain at delay 3.
+/// let mut acc = vec![Complex64::ZERO; 16];
+/// line.accumulate_into(&mut acc, 0.0, 1.0);
+/// line.accumulate_into(&mut acc, 3.0, 0.5);
+/// let mut time = Vec::new();
+/// plan.inverse_into(&acc, &mut work, &mut time).unwrap();
+/// assert!((time[0] - 1.0).abs() < 1e-9);
+/// assert!((time[3] - 0.5).abs() < 1e-9);
+/// assert!((time[4] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpectralDelayLine {
+    n: usize,
+    spectrum: Vec<Complex64>,
+}
+
+impl SpectralDelayLine {
+    /// An empty, unloaded line. Call [`SpectralDelayLine::load`] before
+    /// accumulating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the forward transform of `x` (zero-padded to the plan's size)
+    /// and stores its spectrum, replacing any previously loaded signal.
+    /// The internal buffer is reused across loads, so reloading a warm line
+    /// does not allocate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `x` is longer than the
+    /// plan's transform size.
+    pub fn load(
+        &mut self,
+        x: &[f64],
+        plan: &RealFftPlan,
+        work: &mut Vec<Complex64>,
+    ) -> Result<(), DspError> {
+        plan.forward_into(x, work, &mut self.spectrum)?;
+        self.n = plan.size();
+        Ok(())
+    }
+
+    /// The transform size of the loaded signal (0 if unloaded).
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The loaded full-length Hermitian spectrum.
+    pub fn spectrum(&self) -> &[Complex64] {
+        &self.spectrum
+    }
+
+    /// Adds a copy of the loaded signal, delayed by `delay_samples` and
+    /// scaled by `gain`, into the spectral accumulator `acc`: bins
+    /// `0..=n/2` receive `gain · X[k] · exp(-2πi k d / n)` (Nyquist kept
+    /// real, matching [`delay_phase_multiplier`]).
+    ///
+    /// The phase ramp is generated by complex recurrence — one `sin`/`cos`
+    /// for the whole path instead of one per bin; the drift over a
+    /// power-of-two frame is a few ULPs, far below the simulator's 1e-9
+    /// equivalence budget.
+    ///
+    /// A negative delay contributes silence (the convention of
+    /// [`delay_fractional_allpass`]), as does a zero gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len()` differs from the line's transform size.
+    pub fn accumulate_into(&self, acc: &mut [Complex64], delay_samples: f64, gain: f64) {
+        assert_eq!(
+            acc.len(),
+            self.n,
+            "accumulator length must match the delay line's FFT size"
+        );
+        if self.n == 0 || delay_samples < 0.0 || gain == 0.0 {
+            return;
+        }
+        if self.n == 1 {
+            // Single-bin transform: DC only, delay is a no-op.
+            acc[0] += self.spectrum[0].scale(gain);
+            return;
+        }
+        let half = self.n / 2;
+        let step = Complex64::cis(-2.0 * PI * delay_samples / self.n as f64);
+        let mut ramp = Complex64::ONE;
+        for (a, s) in acc.iter_mut().zip(&self.spectrum).take(half) {
+            *a += (*s * ramp).scale(gain);
+            ramp *= step;
+        }
+        // Nyquist bin: computed exactly and kept real so the superposed
+        // signal stays real (see `delay_phase_multiplier`).
+        let nyquist_gain = (-PI * delay_samples).cos() * gain;
+        acc[half] += self.spectrum[half].scale(nyquist_gain);
+    }
 }
 
 /// A set of propagation paths summed at the receiver.
@@ -129,6 +378,17 @@ impl MultipathChannel {
     /// Applies the channel to `x` at sample rate `fs`. The output is long
     /// enough to contain the most-delayed copy in full.
     ///
+    /// Delays use the **allpass** fractional delay (flat magnitude), the
+    /// same interpolator the recording simulator applies — earlier versions
+    /// used linear interpolation here, whose magnitude response droops near
+    /// Nyquist and so disagreed with the recorder inside the 16–20 kHz
+    /// probe band. Fractional delays now spread a periodic-sinc tail across
+    /// the (power-of-two) analysis frame instead of two adjacent taps;
+    /// integer delays remain exact shifts. Paths with negative delay
+    /// contribute silence.
+    ///
+    /// One-shot wrapper over [`MultipathChannel::apply_with`].
+    ///
     /// # Example
     ///
     /// ```
@@ -138,9 +398,21 @@ impl MultipathChannel {
     ///     Path { delay_s: 1.0 / 48_000.0, gain: 0.5 },
     /// ]);
     /// let y = ch.apply(&[1.0], 48_000.0);
-    /// assert_eq!(&y[..2], &[1.0, 0.5]);
+    /// assert!((y[0] - 1.0).abs() < 1e-12);
+    /// assert!((y[1] - 0.5).abs() < 1e-12);
     /// ```
     pub fn apply(&self, x: &[f64], fs: f64) -> Vec<f64> {
+        let mut scratch = DspScratch::new();
+        self.apply_with(x, fs, &mut scratch)
+    }
+
+    /// [`MultipathChannel::apply`] with plans and buffers drawn from a
+    /// caller-owned [`DspScratch`].
+    ///
+    /// All paths are superposed in the frequency domain on a single
+    /// [`SpectralDelayLine`]: one forward and one inverse transform total,
+    /// independent of the number of paths.
+    pub fn apply_with(&self, x: &[f64], fs: f64, scratch: &mut DspScratch) -> Vec<f64> {
         if x.is_empty() || self.paths.is_empty() {
             return Vec::new();
         }
@@ -150,44 +422,30 @@ impl MultipathChannel {
             .map(|p| p.delay_s)
             .fold(0.0f64, f64::max);
         let out_len = x.len() + (max_delay * fs).ceil() as usize + 1;
-        let mut acc = vec![0.0; out_len];
+        let n = next_pow2(out_len);
+        let plan = scratch
+            .real_plan(n)
+            .expect("next_pow2 sizes are always valid");
+        let mut work = scratch.take_complex();
+        let mut line = SpectralDelayLine::new();
+        line.load(x, &plan, &mut work)
+            .expect("transform size covers the input");
+        let mut acc = scratch.take_complex();
+        acc.resize(n, Complex64::ZERO);
         for p in &self.paths {
-            let delayed = delay_fractional(x, p.delay_s * fs, out_len);
-            for (a, d) in acc.iter_mut().zip(&delayed) {
-                *a += p.gain * d;
-            }
+            line.accumulate_into(&mut acc, p.delay_s * fs, p.gain);
         }
-        acc
+        let mut time = scratch.take_real();
+        plan.inverse_into(&acc, &mut work, &mut time)
+            .expect("accumulator length matches the plan");
+        let mut out = time.clone();
+        out.resize(out_len, 0.0);
+        out.truncate(out_len);
+        scratch.put_real(time);
+        scratch.put_complex(acc);
+        scratch.put_complex(work);
+        out
     }
-}
-
-/// Filters `x` through an arbitrary real frequency response `gain(f_hz)`
-/// via FFT multiplication (zero-phase). Used to imprint the eardrum's
-/// reflectance spectrum onto the echo waveform.
-pub fn apply_frequency_response<F>(x: &[f64], fs: f64, gain: F) -> Vec<f64>
-where
-    F: Fn(f64) -> f64,
-{
-    if x.is_empty() {
-        return Vec::new();
-    }
-    let n = next_pow2(x.len() * 2);
-    let mut buf = vec![Complex64::ZERO; n];
-    for (dst, &src) in buf.iter_mut().zip(x) {
-        *dst = Complex64::from_real(src);
-    }
-    let mut spec = fft(&buf);
-    let df = fs / n as f64;
-    let half = n / 2;
-    for (k, z) in spec.iter_mut().enumerate() {
-        let f = if k <= half {
-            k as f64 * df
-        } else {
-            (n - k) as f64 * df
-        };
-        *z = z.scale(gain(f));
-    }
-    ifft(&spec)[..x.len()].iter().map(|z| z.re).collect()
 }
 
 #[cfg(test)]
@@ -263,6 +521,122 @@ mod tests {
     }
 
     #[test]
+    fn planned_allpass_matches_one_shot_bitwise() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.61).sin()).collect();
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        for d in [0.0, 0.4, 1.0, 2.5, 7.9] {
+            let one_shot = delay_fractional_allpass(&x, d, 64);
+            delay_fractional_allpass_with(&x, d, 64, &mut scratch, &mut out).unwrap();
+            assert_eq!(one_shot, out, "delay {d}");
+        }
+    }
+
+    #[test]
+    fn planned_response_matches_one_shot_bitwise() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin()).collect();
+        let gain = |f: f64| 1.0 / (1.0 + f / 10_000.0);
+        let one_shot = apply_frequency_response(&x, 48_000.0, gain);
+        let mut scratch = DspScratch::new();
+        let mut out = Vec::new();
+        apply_frequency_response_with(&x, 48_000.0, gain, &mut scratch, &mut out).unwrap();
+        assert_eq!(one_shot, out);
+    }
+
+    #[test]
+    fn nyquist_bin_treatment_is_pinned() {
+        // Regression for the shared spectral helper: the Nyquist multiplier
+        // must be purely real with value cos(π·delay) — NOT the complex
+        // phase factor — so that delayed real signals stay real.
+        for n in [8usize, 64, 256] {
+            for d in [0.0, 0.25, 0.5, 1.0, 3.3] {
+                let m = delay_phase_multiplier(n / 2, n, d);
+                assert_eq!(m.im, 0.0, "n {n} delay {d}");
+                assert!((m.re - (PI * d).cos()).abs() < 1e-12, "n {n} delay {d}");
+            }
+        }
+        // Observable consequence: a half-sample delay annihilates a pure
+        // Nyquist-frequency tone (cos(π/2) = 0). The tone must fill the
+        // analysis frame exactly, so drive the delay line directly.
+        let nyq: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let plan = RealFftPlan::new(16).unwrap();
+        let mut work = Vec::new();
+        let mut line = SpectralDelayLine::new();
+        line.load(&nyq, &plan, &mut work).unwrap();
+        let mut acc = vec![Complex64::ZERO; 16];
+        line.accumulate_into(&mut acc, 0.5, 1.0);
+        let mut y = Vec::new();
+        plan.inverse_into(&acc, &mut work, &mut y).unwrap();
+        assert!(y.iter().all(|v| v.abs() < 1e-12), "{y:?}");
+        // And the off-bin frequencies keep their magnitude (allpass).
+        let m = delay_phase_multiplier(3, 16, 0.5);
+        assert!((m.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_bin_frequency_mapping() {
+        assert_eq!(signed_bin_frequency(0, 8), 0.0);
+        assert_eq!(signed_bin_frequency(2, 8), 0.25);
+        assert_eq!(signed_bin_frequency(4, 8), 0.5);
+        assert_eq!(signed_bin_frequency(5, 8), -0.375);
+        assert_eq!(signed_bin_frequency(7, 8), -0.125);
+    }
+
+    #[test]
+    fn delay_line_accumulation_matches_separate_delays() {
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.45).sin()).collect();
+        let paths = [(0.0, 0.6), (2.5, -0.3), (7.0, 0.2)];
+        let n = 64;
+        let plan = RealFftPlan::new(n).unwrap();
+        let mut work = Vec::new();
+        let mut line = SpectralDelayLine::new();
+        line.load(&x, &plan, &mut work).unwrap();
+        assert_eq!(line.size(), n);
+        let mut acc = vec![Complex64::ZERO; n];
+        for &(d, g) in &paths {
+            line.accumulate_into(&mut acc, d, g);
+        }
+        let mut time = Vec::new();
+        plan.inverse_into(&acc, &mut work, &mut time).unwrap();
+
+        // Reference: per-path allpass delay at the same transform size,
+        // summed in the time domain.
+        let mut expect = vec![0.0; n];
+        for &(d, g) in &paths {
+            let y = delay_fractional_allpass(&x, d, n);
+            for (e, v) in expect.iter_mut().zip(&y) {
+                *e += g * v;
+            }
+        }
+        for (i, (a, b)) in time.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-9, "index {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delay_line_skips_negative_delay_and_zero_gain() {
+        let plan = RealFftPlan::new(8).unwrap();
+        let mut work = Vec::new();
+        let mut line = SpectralDelayLine::new();
+        line.load(&[1.0, 2.0], &plan, &mut work).unwrap();
+        let mut acc = vec![Complex64::ZERO; 8];
+        line.accumulate_into(&mut acc, -1.0, 1.0);
+        line.accumulate_into(&mut acc, 2.0, 0.0);
+        assert!(acc.iter().all(|z| z.norm() == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator length")]
+    fn delay_line_checks_accumulator_length() {
+        let plan = RealFftPlan::new(8).unwrap();
+        let mut work = Vec::new();
+        let mut line = SpectralDelayLine::new();
+        line.load(&[1.0], &plan, &mut work).unwrap();
+        let mut acc = vec![Complex64::ZERO; 4];
+        line.accumulate_into(&mut acc, 0.0, 1.0);
+    }
+
+    #[test]
     fn channel_superposition() {
         let ch = MultipathChannel::new(vec![
             Path {
@@ -279,6 +653,48 @@ mod tests {
         assert!((y[1] - 1.0).abs() < 1e-12);
         assert!((y[2] + 0.5).abs() < 1e-12);
         assert!((y[3] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_uses_allpass_delays() {
+        // A fractionally delayed impulse through the channel must keep a
+        // flat in-band magnitude — the linear interpolator this method once
+        // used would attenuate high frequencies (≈29% at 18 kHz for a
+        // half-sample delay).
+        let fs = 48_000.0;
+        let x: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * 18_000.0 * i as f64 / fs).sin())
+            .collect();
+        let ch = MultipathChannel::new(vec![Path {
+            delay_s: 0.5 / fs,
+            gain: 1.0,
+        }]);
+        let y = ch.apply(&x, fs);
+        let mag_x = earsonar_dsp::goertzel::goertzel_magnitude(&x, 18_000.0, fs).unwrap();
+        let mag_y = earsonar_dsp::goertzel::goertzel_magnitude(&y[..256], 18_000.0, fs).unwrap();
+        assert!(
+            (mag_y / mag_x - 1.0).abs() < 0.05,
+            "allpass channel must not droop: {mag_y} vs {mag_x}"
+        );
+    }
+
+    #[test]
+    fn channel_planned_matches_one_shot() {
+        let ch = MultipathChannel::new(vec![
+            Path {
+                delay_s: 0.7 / 48_000.0,
+                gain: 0.8,
+            },
+            Path {
+                delay_s: 3.2 / 48_000.0,
+                gain: -0.4,
+            },
+        ]);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.8).cos()).collect();
+        let mut scratch = DspScratch::new();
+        let a = ch.apply(&x, 48_000.0);
+        let b = ch.apply_with(&x, 48_000.0, &mut scratch);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,8 +8,13 @@ use earsonar_acoustics::chirp::FmcwChirp;
 use earsonar_acoustics::impedance::layer_impedance;
 use earsonar_acoustics::medium::Medium;
 use earsonar_acoustics::propagation::{
-    delay_fractional, delay_fractional_allpass, round_trip_delay_samples,
+    apply_frequency_response, apply_frequency_response_with, delay_fractional,
+    delay_fractional_allpass, delay_fractional_allpass_with, delay_phase_multiplier,
+    round_trip_delay_samples, MultipathChannel, Path, SpectralDelayLine,
 };
+use earsonar_dsp::complex::Complex64;
+use earsonar_dsp::fft::next_pow2;
+use earsonar_dsp::plan::{DspScratch, FftPlan, RealFftPlan};
 use earsonar_acoustics::reflection::{
     energy_absorbance, energy_reflectance, pressure_reflectance, pressure_transmittance,
 };
@@ -182,6 +187,161 @@ fn linear_delay_never_gains_energy() {
         let ex: f64 = x.iter().map(|v| v * v).sum();
         let ey: f64 = y.iter().map(|v| v * v).sum();
         assert!(ey <= ex + 1e-9, "seed {seed}");
+    }
+}
+
+/// Reference for the spectral accumulator: delays each path independently
+/// with a full-size complex FFT (different code path from the half-size
+/// real transform) and superposes the results in the **time domain**.
+/// Negative-delay paths contribute silence, matching the one-shot
+/// convention.
+fn time_domain_superposition(x: &[f64], paths: &[(f64, f64)], n: usize) -> Vec<f64> {
+    let plan = FftPlan::new(n).unwrap();
+    let mut out = vec![0.0; n];
+    for &(delay, gain) in paths {
+        if delay < 0.0 {
+            continue;
+        }
+        let mut buf = vec![Complex64::ZERO; n];
+        for (z, &v) in buf.iter_mut().zip(x) {
+            *z = Complex64::from_real(v);
+        }
+        plan.forward(&mut buf).unwrap();
+        for (k, z) in buf.iter_mut().enumerate() {
+            *z *= delay_phase_multiplier(k, n, delay);
+        }
+        plan.inverse(&mut buf).unwrap();
+        for (o, z) in out.iter_mut().zip(&buf) {
+            *o += gain * z.re;
+        }
+    }
+    out
+}
+
+#[test]
+fn spectral_accumulation_matches_time_domain_superposition() {
+    // The tentpole property: accumulating every path as a phase-ramp × gain
+    // in the frequency domain and inverting ONCE equals delaying each path
+    // separately and summing in the time domain — for random path sets,
+    // delays (negative ones included), and signal lengths.
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let len = rng.range_usize(4, 80);
+        let n_paths = rng.range_usize(1, 6);
+        let x: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let paths: Vec<(f64, f64)> = (0..n_paths)
+            .map(|_| (rng.uniform(-2.0, 20.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        let max_delay = paths.iter().map(|p| p.0).fold(0.0f64, f64::max);
+        let n = next_pow2(len + max_delay.ceil().max(0.0) as usize + 1);
+
+        let plan = RealFftPlan::new(n).unwrap();
+        let mut work = Vec::new();
+        let mut line = SpectralDelayLine::new();
+        line.load(&x, &plan, &mut work).unwrap();
+        let mut acc = vec![Complex64::ZERO; n];
+        for &(delay, gain) in &paths {
+            line.accumulate_into(&mut acc, delay, gain);
+        }
+        let mut spectral = Vec::new();
+        plan.inverse_into(&acc, &mut work, &mut spectral).unwrap();
+
+        let reference = time_domain_superposition(&x, &paths, n);
+        let peak = reference.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+        for (i, (a, b)) in spectral.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * peak,
+                "seed {seed} sample {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spectral_accumulation_handles_degenerate_inputs() {
+    // Empty signal → silence; all-negative delays → silence; the planned
+    // one-shot wrapper with zero out_len → empty output.
+    let plan = RealFftPlan::new(16).unwrap();
+    let mut work = Vec::new();
+    let mut line = SpectralDelayLine::new();
+    line.load(&[], &plan, &mut work).unwrap();
+    let mut acc = vec![Complex64::ZERO; 16];
+    line.accumulate_into(&mut acc, 3.0, 1.0);
+    let mut y = Vec::new();
+    plan.inverse_into(&acc, &mut work, &mut y).unwrap();
+    assert!(y.iter().all(|v| *v == 0.0));
+
+    line.load(&[1.0, -1.0], &plan, &mut work).unwrap();
+    for z in acc.iter_mut() {
+        *z = Complex64::ZERO;
+    }
+    line.accumulate_into(&mut acc, -0.5, 1.0);
+    assert!(acc.iter().all(|z| z.norm() == 0.0));
+
+    let mut scratch = DspScratch::new();
+    let mut out = vec![1.0; 4];
+    delay_fractional_allpass_with(&[1.0, 2.0], 1.5, 0, &mut scratch, &mut out).unwrap();
+    assert!(out.is_empty());
+    delay_fractional_allpass_with(&[], 1.5, 3, &mut scratch, &mut out).unwrap();
+    assert_eq!(out, vec![0.0; 3]);
+    delay_fractional_allpass_with(&[1.0], -2.0, 3, &mut scratch, &mut out).unwrap();
+    assert_eq!(out, vec![0.0; 3]);
+}
+
+#[test]
+fn planned_spectral_ops_match_one_shot_for_random_inputs() {
+    // The `_with` variants share one scratch across all cases and sizes;
+    // they must still be bit-identical to the one-shot free functions.
+    let mut scratch = DspScratch::new();
+    let mut out = Vec::new();
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let len = rng.range_usize(1, 200);
+        let delay = rng.uniform(-1.0, 25.0);
+        let out_len = rng.range_usize(0, 2 * len + 32);
+        let x: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let expect = delay_fractional_allpass(&x, delay, out_len);
+        delay_fractional_allpass_with(&x, delay, out_len, &mut scratch, &mut out).unwrap();
+        assert_eq!(expect, out, "seed {seed} (delay)");
+
+        let knee = rng.uniform(1_000.0, 20_000.0);
+        let gain = |f: f64| 1.0 / (1.0 + (f / knee).powi(2));
+        let expect = apply_frequency_response(&x, 48_000.0, gain);
+        apply_frequency_response_with(&x, 48_000.0, gain, &mut scratch, &mut out).unwrap();
+        assert_eq!(expect, out, "seed {seed} (response)");
+    }
+}
+
+#[test]
+fn channel_apply_matches_time_domain_superposition() {
+    let fs = 48_000.0;
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let len = rng.range_usize(2, 64);
+        let n_paths = rng.range_usize(1, 5);
+        let x: Vec<f64> = (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let paths: Vec<Path> = (0..n_paths)
+            .map(|_| Path {
+                delay_s: rng.uniform(0.0, 12.0) / fs,
+                gain: rng.uniform(-1.0, 1.0),
+            })
+            .collect();
+        let ch = MultipathChannel::new(paths.clone());
+        let y = ch.apply(&x, fs);
+        let max_delay = paths.iter().map(|p| p.delay_s).fold(0.0f64, f64::max);
+        let out_len = len + (max_delay * fs).ceil() as usize + 1;
+        assert_eq!(y.len(), out_len, "seed {seed}");
+        let n = next_pow2(out_len);
+        let sample_paths: Vec<(f64, f64)> =
+            paths.iter().map(|p| (p.delay_s * fs, p.gain)).collect();
+        let reference = time_domain_superposition(&x, &sample_paths, n);
+        let peak = reference.iter().fold(1e-12f64, |m, v| m.max(v.abs()));
+        for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * peak,
+                "seed {seed} sample {i}: {a} vs {b}"
+            );
+        }
     }
 }
 

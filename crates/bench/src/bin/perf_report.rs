@@ -1,9 +1,15 @@
-//! Micro-benchmark report for the planned-FFT / batch-processing work.
+//! Micro-benchmark report for the planned-FFT / batch-processing and
+//! spectral-synthesis work.
 //!
 //! Times planned transforms against their one-shot equivalents and the
-//! scoped-thread batch front end against sequential processing, verifies
-//! that batching is bit-identical to the sequential path, and writes the
-//! results to `BENCH_pr1.json` in the working directory.
+//! scoped-thread batch front end against sequential processing (written to
+//! `BENCH_pr1.json`), then the spectral-domain recording synthesizer
+//! against the pre-optimization one-shot path, with a worker-count sweep
+//! over the parallel dataset builder (written to `BENCH_pr2.json`). Both
+//! parallel sections verify bit-identity against the sequential path
+//! before timing anything, and both carry an explicit low-core flag: on a
+//! host with one or two cores a ~1.0x parallel "speedup" reflects the
+//! hardware, not the implementation.
 //!
 //! Run with `cargo run --release -p earsonar-bench --bin perf_report`;
 //! pass `--smoke` (or set `EARSONAR_BENCH_SMOKE`) for a fast CI pass.
@@ -17,8 +23,17 @@ use earsonar_dsp::complex::Complex64;
 use earsonar_dsp::fft::{fft, fft_real};
 use earsonar_dsp::plan::{FftPlan, RealFftPlan};
 use earsonar_dsp::rng::DetRng;
-use earsonar_sim::recorder::Recording;
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+use earsonar_sim::ear::EarCanal;
+use earsonar_sim::recorder::{
+    spectral_ffts_per_recording, synthesize_recording_legacy, synthesize_recording_time_domain,
+    synthesize_recording_with, time_domain_ffts_per_recording, Recording, RecorderConfig,
+};
+use earsonar_sim::rng::SimRng;
+use earsonar_sim::scratch::SimScratch;
 use earsonar_sim::session::SessionConfig;
+use earsonar_sim::MeeState;
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -34,6 +49,12 @@ impl FftRow {
     fn speedup(&self) -> f64 {
         self.one_shot.ns_per_iter / self.planned.ns_per_iter
     }
+}
+
+/// One timing at one worker count in a parallel sweep.
+struct WorkerRow {
+    workers: usize,
+    m: Measurement,
 }
 
 fn random_signal(n: usize, seed: u64) -> Vec<f64> {
@@ -85,13 +106,49 @@ fn bench_real(b: &Bencher, n: usize) -> FftRow {
     }
 }
 
+/// Renders a worker sweep as a JSON array of `{workers, ns, speedup}`
+/// objects (speedup is relative to `baseline_ns`).
+fn sweep_json(sweep: &[WorkerRow], baseline_ns: f64, indent: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{indent}  {{\"workers\": {}, \"ns\": {}, \"speedup\": {}}}{}",
+            row.workers,
+            json_num(row.m.ns_per_iter),
+            json_num(baseline_ns / row.m.ns_per_iter),
+            if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(out, "{indent}]");
+    out
+}
+
+fn warn_if_low_core(cores: usize) -> bool {
+    let low = cores < 4;
+    if low {
+        println!(
+            "WARNING: host reports {cores} core(s); worker sweeps below are \
+             hardware-limited and ~1.0x parallel speedups reflect the host, \
+             not the implementation. Re-run on a multi-core machine for \
+             meaningful batch numbers."
+        );
+    }
+    low
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bencher = Bencher::from_env(&args);
     let smoke = std::env::var_os("EARSONAR_BENCH_SMOKE").is_some()
         || args.iter().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let low_core = warn_if_low_core(cores);
 
-    println!("== planned vs one-shot transforms ==");
+    println!("\n== planned vs one-shot transforms ==");
     let mut rows = Vec::new();
     for n in [1024usize, 2048, 4096] {
         rows.push(bench_complex(&bencher, n));
@@ -111,10 +168,7 @@ fn main() {
 
     // Bit-identity check before timing anything: the batched result must
     // match sequential processing exactly, at several worker counts.
-    let sequential: Vec<_> = recordings
-        .iter()
-        .map(|r| front_end.process(r))
-        .collect();
+    let sequential: Vec<_> = recordings.iter().map(|r| front_end.process(r)).collect();
     for workers in [1usize, 2, 4] {
         let batched = front_end.process_batch_with_workers(&recordings, workers);
         for (s, p) in sequential.iter().zip(&batched) {
@@ -130,30 +184,128 @@ fn main() {
     }
     println!("bit-identity: batch == sequential at 1/2/4 workers");
 
-    let workers = default_workers(recordings.len());
     let seq = bencher.report("front_end_sequential/8", || {
         recordings
             .iter()
             .map(|r| front_end.process(r).map(|p| p.features.len()))
             .collect::<Vec<_>>()
     });
-    let par = bencher.report(&format!("front_end_batch/8x{workers}"), || {
-        front_end.process_batch(&recordings).len()
-    });
-    let batch_speedup = seq.ns_per_iter / par.ns_per_iter;
+    let default_w = default_workers(recordings.len());
+    let mut batch_workers = vec![1usize, 2, 4];
+    if !batch_workers.contains(&default_w) {
+        batch_workers.push(default_w);
+        batch_workers.sort_unstable();
+    }
+    let mut batch_sweep = Vec::new();
+    for &workers in &batch_workers {
+        let m = bencher.report(&format!("front_end_batch/8x{workers}"), || {
+            front_end.process_batch_with_workers(&recordings, workers).len()
+        });
+        println!(
+            "  {workers} worker(s): {:.2}x vs sequential",
+            seq.ns_per_iter / m.ns_per_iter
+        );
+        batch_sweep.push(WorkerRow { workers, m });
+    }
+    let batch_best = batch_sweep
+        .iter()
+        .map(|r| seq.ns_per_iter / r.m.ns_per_iter)
+        .fold(0.0f64, f64::max);
+    println!("batch speedup: best {batch_best:.2}x on {cores} core(s)");
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // ---- PR2: spectral-domain recording synthesis ----
+
+    println!("\n== synthesize_recording: spectral vs pre-optimization ==");
+    let mut ear_rng = SimRng::seed_from_u64(7);
+    let ear = EarCanal::sample_child(&mut ear_rng);
+    let mut resp_rng = SimRng::seed_from_u64(8);
+    let resp = MeeState::Mucoid.sample_response(18_000.0, &mut resp_rng);
+    let cfg = RecorderConfig::default();
+
+    // Equivalence before timing: the spectral path must match the
+    // time-domain reference within 1e-9 of the reference peak.
+    let mut scratch = SimScratch::new();
+    let mut max_rel = 0.0f64;
+    for seed in 0..4u64 {
+        let mut rng_a = SimRng::seed_from_u64(100 + seed);
+        let mut rng_b = SimRng::seed_from_u64(100 + seed);
+        let spectral = synthesize_recording_with(&ear, &resp, &cfg, &mut rng_a, &mut scratch);
+        let reference = synthesize_recording_time_domain(&ear, &resp, &cfg, &mut rng_b);
+        let peak = reference
+            .samples
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in spectral.samples.iter().zip(&reference.samples) {
+            max_rel = max_rel.max((a - b).abs() / peak);
+        }
+    }
+    assert!(max_rel <= 1e-9, "equivalence violated: {max_rel:e}");
+    println!("equivalence: max relative error {max_rel:.2e} (bound 1e-9)");
+
+    let legacy = bencher.report("synthesize/legacy_pre_pr", || {
+        let mut rng = SimRng::seed_from_u64(42);
+        synthesize_recording_legacy(&ear, &resp, &cfg, &mut rng).samples[0]
+    });
+    let warm = bencher.report("synthesize/spectral_warm", || {
+        let mut rng = SimRng::seed_from_u64(42);
+        synthesize_recording_with(&ear, &resp, &cfg, &mut rng, &mut scratch).samples[0]
+    });
+    let synth_speedup = legacy.ns_per_iter / warm.ns_per_iter;
+    let ffts_before = time_domain_ffts_per_recording(&cfg, &ear);
+    let ffts_after = spectral_ffts_per_recording(&cfg, &ear);
     println!(
-        "\nbatch speedup: {batch_speedup:.2}x with {workers} worker(s) on {cores} core(s)"
+        "speedup {synth_speedup:.2}x ({:.0} -> {:.0} recordings/sec), \
+         FFTs per recording {ffts_before} -> {ffts_after}",
+        1e9 / legacy.ns_per_iter,
+        1e9 / warm.ns_per_iter,
     );
+
+    println!("\n== dataset build: worker sweep ==");
+    let cohort = Cohort::generate(6, 3);
+    let spec = DatasetSpec::default();
+    let reference = Dataset::build(&cohort, &spec);
+    let mut sweep_counts = vec![1usize, 2, 4];
+    if !sweep_counts.contains(&cores) && cores <= 16 {
+        sweep_counts.push(cores);
+        sweep_counts.sort_unstable();
+    }
+    for &workers in &sweep_counts {
+        let parallel = Dataset::build_parallel(&cohort, &spec, workers);
+        assert_eq!(
+            reference.sessions, parallel.sessions,
+            "parallel build diverged at {workers} workers"
+        );
+    }
+    println!(
+        "bit-identity: parallel == sequential at {:?} workers",
+        sweep_counts
+    );
+    let ds_seq = bencher.report("dataset_sequential/6", || {
+        Dataset::build(&cohort, &spec).len()
+    });
+    let mut ds_sweep = Vec::new();
+    for &workers in &sweep_counts {
+        let m = bencher.report(&format!("dataset_parallel/6x{workers}"), || {
+            Dataset::build_parallel(&cohort, &spec, workers).len()
+        });
+        println!(
+            "  {workers} worker(s): {:.2}x vs sequential",
+            ds_seq.ns_per_iter / m.ns_per_iter
+        );
+        ds_sweep.push(WorkerRow { workers, m });
+    }
+    if low_core {
+        println!(
+            "note: dataset sweep ran on {cores} core(s); see warning above."
+        );
+    }
 
     // Hand-rolled JSON: the dependency budget has no serde.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"report\": \"BENCH_pr1\",");
-    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"low_core_host\": {low_core},");
     let _ = writeln!(json, "  \"fft\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -170,14 +322,67 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"batch\": {{");
     let _ = writeln!(json, "    \"recordings\": {},", recordings.len());
-    let _ = writeln!(json, "    \"workers\": {workers},");
     let _ = writeln!(json, "    \"sequential_ns\": {},", json_num(seq.ns_per_iter));
-    let _ = writeln!(json, "    \"batch_ns\": {},", json_num(par.ns_per_iter));
-    let _ = writeln!(json, "    \"speedup\": {},", json_num(batch_speedup));
+    let _ = writeln!(
+        json,
+        "    \"sweep\": {},",
+        sweep_json(&batch_sweep, seq.ns_per_iter, "    ")
+    );
+    let _ = writeln!(json, "    \"best_speedup\": {},", json_num(batch_best));
     let _ = writeln!(json, "    \"bit_identical\": true");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
-
     std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
-    println!("\nwrote BENCH_pr1.json");
+
+    let mut json2 = String::from("{\n");
+    let _ = writeln!(json2, "  \"report\": \"BENCH_pr2\",");
+    let _ = writeln!(json2, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json2, "  \"cores\": {cores},");
+    let _ = writeln!(json2, "  \"low_core_host\": {low_core},");
+    let _ = writeln!(json2, "  \"synthesize_recording\": {{");
+    let _ = writeln!(json2, "    \"n_chirps\": {},", cfg.n_chirps);
+    let _ = writeln!(
+        json2,
+        "    \"legacy_pre_pr_ns\": {},",
+        json_num(legacy.ns_per_iter)
+    );
+    let _ = writeln!(
+        json2,
+        "    \"spectral_warm_ns\": {},",
+        json_num(warm.ns_per_iter)
+    );
+    let _ = writeln!(json2, "    \"speedup\": {},", json_num(synth_speedup));
+    let _ = writeln!(
+        json2,
+        "    \"recordings_per_sec_before\": {},",
+        json_num(1e9 / legacy.ns_per_iter)
+    );
+    let _ = writeln!(
+        json2,
+        "    \"recordings_per_sec_after\": {},",
+        json_num(1e9 / warm.ns_per_iter)
+    );
+    let _ = writeln!(json2, "    \"ffts_per_recording_before\": {ffts_before},");
+    let _ = writeln!(json2, "    \"ffts_per_recording_after\": {ffts_after},");
+    // Exponent form: the error is ~1e-11, far below json_num's precision.
+    let _ = writeln!(json2, "    \"equivalence_max_rel_error\": {max_rel:e}");
+    let _ = writeln!(json2, "  }},");
+    let _ = writeln!(json2, "  \"dataset_build\": {{");
+    let _ = writeln!(json2, "    \"patients\": 6,");
+    let _ = writeln!(
+        json2,
+        "    \"sequential_ns\": {},",
+        json_num(ds_seq.ns_per_iter)
+    );
+    let _ = writeln!(
+        json2,
+        "    \"sweep\": {},",
+        sweep_json(&ds_sweep, ds_seq.ns_per_iter, "    ")
+    );
+    let _ = writeln!(json2, "    \"bit_identical\": true");
+    let _ = writeln!(json2, "  }}");
+    json2.push_str("}\n");
+    std::fs::write("BENCH_pr2.json", &json2).expect("write BENCH_pr2.json");
+
+    println!("\nwrote BENCH_pr1.json and BENCH_pr2.json");
 }

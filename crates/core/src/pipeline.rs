@@ -9,7 +9,7 @@
 use crate::absorption::{average_spectra, echo_ir_spectrum, EchoSpectrum};
 use crate::channel::{average_irs, pipeline_estimator, ChannelEstimator};
 use crate::cancel::chirp_template;
-use earsonar_acoustics::propagation::delay_fractional_allpass;
+use earsonar_acoustics::propagation::delay_fractional_allpass_with;
 use crate::config::EarSonarConfig;
 use crate::detect::EarSonarDetector;
 use crate::error::EarSonarError;
@@ -168,16 +168,14 @@ impl FrontEnd {
         let target = refined.ceil() + 1.0;
         let shift = target - refined; // in (0, 2]: a pure delay
         let aligned_len = avg_ir.len() + 3;
-        let align =
-            |ir: &[f64]| delay_fractional_allpass(ir, shift, aligned_len);
         let aligned_center = target as usize;
         echo.center = aligned_center;
 
-        let avg_aligned = align(&avg_ir);
         let mut spectra: Vec<EchoSpectrum> = Vec::new();
         let mut echoes: Vec<EardrumEcho> = Vec::new();
+        let mut ir_aligned = scratch.take_real();
         for ir in &irs {
-            let ir_aligned = align(ir);
+            delay_fractional_allpass_with(ir, shift, aligned_len, scratch, &mut ir_aligned)?;
             if let Ok(s) =
                 echo_ir_spectrum(&ir_aligned, aligned_center, calibration, &self.config)
             {
@@ -185,7 +183,7 @@ impl FrontEnd {
                 echoes.push(echo.clone());
             }
         }
-        let _ = &avg_aligned;
+        scratch.put_real(ir_aligned);
         if spectra.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }

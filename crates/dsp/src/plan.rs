@@ -273,6 +273,11 @@ impl RealFftPlan {
     /// `out` (resized as needed). Inverse of [`RealFftPlan::forward_into`]
     /// (any imaginary residue of a non-Hermitian input is discarded).
     ///
+    /// Only bins `0..=n/2` of `spectrum` are read — the upper half of a
+    /// Hermitian spectrum is redundant. Callers that synthesize spectra
+    /// directly (e.g. the simulator's spectral accumulator) may leave the
+    /// upper bins stale; this is a guarantee, not an implementation detail.
+    ///
     /// # Errors
     ///
     /// Returns [`DspError::InvalidLength`] if `spectrum.len()` differs from

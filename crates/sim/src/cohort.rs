@@ -8,6 +8,55 @@ use crate::patient::{Patient, Sex};
 use crate::rng::{mix, SimRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Maps `f(state, index)` over `0..n` across `workers` scoped threads,
+/// returning results in index order.
+///
+/// Work is distributed by an atomic counter, so the thread→index assignment
+/// is nondeterministic — but each result depends only on its index and the
+/// worker-local state produced by `init` (a fresh RNG-free workspace), so
+/// the output is bit-identical to a sequential map at any worker count.
+/// Shared by [`Cohort::generate_parallel`] and `Dataset::build_parallel`.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub(crate) fn parallel_map_indexed<T, S, G, F>(n: usize, workers: usize, init: G, f: F) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let id = next.fetch_add(1, Ordering::Relaxed);
+                        if id >= n {
+                            break;
+                        }
+                        local.push((id, f(&mut state, id)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (id, v) in h.join().expect("parallel map worker panicked") {
+                slots[id] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was mapped exactly once"))
+        .collect()
+}
+
 /// A generated set of virtual study participants.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cohort {
@@ -43,34 +92,7 @@ impl Cohort {
         if workers <= 1 {
             return Cohort::generate(n, seed);
         }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Patient>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let id = next.fetch_add(1, Ordering::Relaxed);
-                            if id >= n {
-                                break;
-                            }
-                            local.push((id, Self::patient(seed, id)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (id, p) in h.join().expect("cohort worker panicked") {
-                    slots[id] = Some(p);
-                }
-            }
-        });
-        let patients = slots
-            .into_iter()
-            .map(|s| s.expect("every patient id was generated exactly once"))
-            .collect();
+        let patients = parallel_map_indexed(n, workers, || (), |_, id| Self::patient(seed, id));
         Cohort { patients, seed }
     }
 

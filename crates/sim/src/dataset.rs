@@ -4,9 +4,10 @@
 //! balanced per-state snapshots for classification experiments, and full
 //! longitudinal trajectories for the recovery figures (Fig. 10).
 
-use crate::cohort::Cohort;
+use crate::cohort::{parallel_map_indexed, Cohort};
 use crate::effusion::MeeState;
 use crate::patient::Patient;
+use crate::scratch::SimScratch;
 use crate::session::{Session, SessionConfig};
 
 /// How sessions are drawn from each patient's trajectory.
@@ -51,6 +52,17 @@ pub fn representative_days(patient: &Patient) -> Vec<(MeeState, u32)> {
 /// Records `spec.sessions_per_state` sessions per state the patient passes
 /// through, spreading visits across the days of each stage.
 pub fn patient_sessions(patient: &Patient, spec: &DatasetSpec) -> Vec<Session> {
+    let mut scratch = SimScratch::new();
+    patient_sessions_with(patient, spec, &mut scratch)
+}
+
+/// [`patient_sessions`] with synthesis buffers drawn from a caller-owned
+/// [`SimScratch`], reused across every visit.
+pub fn patient_sessions_with(
+    patient: &Patient,
+    spec: &DatasetSpec,
+    scratch: &mut SimScratch,
+) -> Vec<Session> {
     let horizon = patient.recovery_day() + 6;
     // Group days by state.
     let mut stage_days: Vec<(MeeState, Vec<u32>)> = Vec::new();
@@ -69,7 +81,13 @@ pub fn patient_sessions(patient: &Patient, spec: &DatasetSpec) -> Vec<Session> {
             // a different visit seed (morning/evening).
             let day = days[(v % n) * days.len() / n.max(1)];
             let visit_seed = spec.seed.wrapping_mul(31).wrapping_add(v as u64);
-            out.push(Session::record(patient, day, &spec.config, visit_seed));
+            out.push(Session::record_with(
+                patient,
+                day,
+                &spec.config,
+                visit_seed,
+                scratch,
+            ));
         }
     }
     out
@@ -83,14 +101,36 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Records the full dataset for `cohort` under `spec`.
+    /// Records the full dataset for `cohort` under `spec`, reusing one
+    /// synthesis workspace across every patient.
     pub fn build(cohort: &Cohort, spec: &DatasetSpec) -> Dataset {
+        let mut scratch = SimScratch::new();
         let sessions = cohort
             .patients()
             .iter()
-            .flat_map(|p| patient_sessions(p, spec))
+            .flat_map(|p| patient_sessions_with(p, spec, &mut scratch))
             .collect();
         Dataset { sessions }
+    }
+
+    /// [`Dataset::build`] fanned out over `workers` scoped threads, one
+    /// patient per work item and one warm [`SimScratch`] per worker.
+    ///
+    /// Every session's samples depend only on `(patient, spec)` — never on
+    /// the scratch or on which worker rendered it — so the result is
+    /// **bit-identical** to the sequential builder at any worker count.
+    pub fn build_parallel(cohort: &Cohort, spec: &DatasetSpec, workers: usize) -> Dataset {
+        let n = cohort.len();
+        let workers = workers.max(1).min(n.max(1));
+        if workers <= 1 {
+            return Dataset::build(cohort, spec);
+        }
+        let per_patient = parallel_map_indexed(n, workers, SimScratch::new, |scratch, id| {
+            patient_sessions_with(&cohort.patients()[id], spec, scratch)
+        });
+        Dataset {
+            sessions: per_patient.into_iter().flatten().collect(),
+        }
     }
 
     /// Number of sessions.
@@ -182,6 +222,20 @@ mod tests {
         let a = Dataset::build(&cohort, &spec);
         let b = Dataset::build(&cohort, &spec);
         assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_bitwise() {
+        let cohort = Cohort::generate(5, 12);
+        let spec = DatasetSpec::default();
+        let sequential = Dataset::build(&cohort, &spec);
+        for workers in [1usize, 2, 3, 8] {
+            let parallel = Dataset::build_parallel(&cohort, &spec, workers);
+            assert_eq!(
+                sequential.sessions, parallel.sessions,
+                "workers = {workers}"
+            );
+        }
     }
 
     #[test]

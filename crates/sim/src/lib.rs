@@ -54,6 +54,7 @@ pub mod noise;
 pub mod patient;
 pub mod recorder;
 pub mod rng;
+pub mod scratch;
 pub mod session;
 pub mod wearing;
 

@@ -5,17 +5,46 @@
 //! multipath, and the spectrally shaped eardrum echo (paper Eq. 4–5), plus
 //! device response, microphone self-noise, ambient room noise, and
 //! motion/wearing disturbances.
+//!
+//! # Spectral synthesis
+//!
+//! The hot path ([`synthesize_recording_with`]) works in the frequency
+//! domain: the device-shaped chirp and the echo-shaped chirp are each
+//! transformed **once** per recording (into a
+//! [`SpectralDelayLine`](earsonar_acoustics::propagation::SpectralDelayLine)),
+//! every propagation path of every chirp window becomes a per-bin phase
+//! ramp × gain accumulated into a shared spectrum, and **one** inverse FFT
+//! per chirp recovers the superposed waveform. Because the inverse
+//! transform is linear this equals summing per-path allpass delays in the
+//! time domain at the same transform size exactly — it is a
+//! re-association of the same computation, not an approximation. The same
+//! algorithm executed in the time domain is kept as
+//! [`synthesize_recording_time_domain`]; both consume the RNG identically,
+//! and an equivalence suite holds them within 1e-9 relative error.
+//!
+//! Noise generation also changed in this optimization pass: the dense
+//! microphone/ambient fills draw polar-method Gaussian pairs
+//! ([`SimRng::gaussian_pair`]) instead of per-sample Box–Muller, which
+//! halves their cost. The noise *values* therefore differ from the seed
+//! code (the distribution is identical); [`synthesize_recording_legacy`]
+//! preserves the original draws bit-exact as the benchmark baseline.
 
 use crate::device::EarphoneModel;
 use crate::ear::EarCanal;
 use crate::motion::Motion;
 use crate::noise;
 use crate::rng::SimRng;
+use crate::scratch::{ChirpParams, SimScratch};
 use crate::wearing::WearingAngle;
 use earsonar_acoustics::absorption::EardrumResponse;
 use earsonar_acoustics::chirp::FmcwChirp;
 use earsonar_acoustics::constants::EARSONAR_CHIRP_INTERVAL;
-use earsonar_acoustics::propagation::{apply_frequency_response, delay_fractional_allpass};
+use earsonar_acoustics::propagation::{
+    apply_frequency_response, apply_frequency_response_with, delay_fractional_allpass,
+    round_trip_delay_samples,
+};
+use earsonar_dsp::complex::Complex64;
+use earsonar_dsp::fft::next_pow2;
 
 /// Everything configurable about one recording.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,11 +123,33 @@ const DIRECT_DELAY_SAMPLES: f64 = 1.0;
 ///
 /// All stochastic elements (coupling, motion jitter, noise) come from
 /// `rng`, so a fixed seed reproduces the capture exactly.
+///
+/// One-shot wrapper over [`synthesize_recording_with`]; repeated callers
+/// (sessions, cohorts, benchmarks) should hold a [`SimScratch`] and use the
+/// planned variant directly.
 pub fn synthesize_recording(
     ear: &EarCanal,
     response: &EardrumResponse,
     config: &RecorderConfig,
     rng: &mut SimRng,
+) -> Recording {
+    let mut scratch = SimScratch::new();
+    synthesize_recording_with(ear, response, config, rng, &mut scratch)
+}
+
+/// [`synthesize_recording`] with plans and buffers drawn from a
+/// caller-owned [`SimScratch`] — the spectral-domain hot path.
+///
+/// With a warm scratch the only allocation per call is the returned
+/// `Recording`'s sample buffer. The random stream consumed is identical to
+/// [`synthesize_recording_time_domain`]'s: all stochastic parameters are
+/// sampled up front in the legacy order, then rendered spectrally.
+pub fn synthesize_recording_with(
+    ear: &EarCanal,
+    response: &EardrumResponse,
+    config: &RecorderConfig,
+    rng: &mut SimRng,
+    scratch: &mut SimScratch,
 ) -> Recording {
     let fs = config.chirp.sample_rate;
     let tx = config.chirp.samples();
@@ -106,24 +157,205 @@ pub fn synthesize_recording(
     let hop = config.chirp.hop_samples(config.chirp_interval_s);
 
     // Shape the transmitted chirp by the earphone's frequency response,
-    // with tail room for filter ringing.
-    let mut padded = tx.clone();
-    padded.extend(std::iter::repeat_n(0.0, chirp_len.max(16)));
+    // with tail room for filter ringing; then further filter by the eardrum
+    // reflectance spectrum to get the echo waveform. Both are computed once
+    // per recording — the eardrum state is static within a session.
     let device = config.device;
-    let tx_shaped = apply_frequency_response(&padded, fs, |f| device.response_gain(f));
-
-    // The eardrum echo waveform: the device-shaped chirp further filtered
-    // by the eardrum reflectance spectrum. Computed once per recording —
-    // the eardrum state is static within a session.
-    let echo_shaped = apply_frequency_response(&tx_shaped, fs, |f| response.reflectance_at(f));
+    scratch.padded.clear();
+    scratch.padded.extend_from_slice(&tx);
+    scratch
+        .padded
+        .extend(std::iter::repeat_n(0.0, chirp_len.max(16)));
+    apply_frequency_response_with(
+        &scratch.padded,
+        fs,
+        |f| device.response_gain(f),
+        &mut scratch.dsp,
+        &mut scratch.tx_shaped,
+    )
+    .expect("internally chosen power-of-two FFT sizes are always valid");
+    apply_frequency_response_with(
+        &scratch.tx_shaped,
+        fs,
+        |f| response.reflectance_at(f),
+        &mut scratch.dsp,
+        &mut scratch.echo_shaped,
+    )
+    .expect("internally chosen power-of-two FFT sizes are always valid");
 
     // Session-level factors.
     let coupling = rng.jitter(1.0 - device.coupling_quality());
     let distance_offset = config.angle.sample_distance_offset(rng);
     let eardrum_distance = (ear.eardrum_distance_m + distance_offset).clamp(0.015, 0.045);
     let eardrum_delay =
-        earsonar_acoustics::propagation::round_trip_delay_samples(eardrum_distance, fs)
-            + DIRECT_DELAY_SAMPLES;
+        round_trip_delay_samples(eardrum_distance, fs) + DIRECT_DELAY_SAMPLES;
+    let eardrum_gain = ear.eardrum_path_gain * config.angle.eardrum_gain_factor() * coupling;
+    let dgain = ear.direct_gain * coupling;
+
+    // Sample every per-chirp stochastic parameter up front, in exactly the
+    // order the time-domain reference consumes the RNG, and track the
+    // largest delay so one transform size covers every path.
+    let seg_len = hop;
+    let t_len = seg_len.min(60);
+    let mut max_delay = DIRECT_DELAY_SAMPLES;
+    scratch.chirps.resize_with(config.n_chirps, ChirpParams::default);
+    for cp in scratch.chirps.iter_mut().take(config.n_chirps) {
+        cp.wall.clear();
+        cp.transient.clear();
+        let (delay_jit, gain_jit, transient) = config.motion.sample_disturbance(rng);
+        let extra_jit = rng.gaussian(0.0, config.angle.extra_delay_jitter());
+        for &(dist, gain) in &ear.wall_paths {
+            let delay = (round_trip_delay_samples(dist, fs)
+                + DIRECT_DELAY_SAMPLES
+                + rng.gaussian(0.0, 0.08))
+            .max(0.0);
+            let g = gain * config.angle.wall_gain_factor() * coupling * rng.jitter(0.04);
+            cp.wall.push((delay, g));
+            max_delay = max_delay.max(delay);
+        }
+        cp.eardrum_delay = (eardrum_delay + delay_jit + extra_jit).max(0.0);
+        cp.eardrum_gain = eardrum_gain * gain_jit;
+        max_delay = max_delay.max(cp.eardrum_delay);
+        if transient > 0.0 {
+            for i in 0..t_len {
+                let env = (-((i as f64 - 20.0) / 10.0).powi(2)).exp();
+                cp.transient.push(transient * env * rng.standard_gaussian());
+            }
+        }
+    }
+
+    // One forward transform per source waveform, at a size covering the
+    // longest delayed copy (the same size the per-path one-shot calls pick
+    // for the default geometry).
+    let n = next_pow2(scratch.tx_shaped.len() + max_delay.ceil() as usize + 1);
+    let plan = scratch
+        .dsp
+        .real_plan(n)
+        .expect("next_pow2 sizes are always valid");
+    let mut work = scratch.dsp.take_complex();
+    scratch
+        .tx_line
+        .load(&scratch.tx_shaped, &plan, &mut work)
+        .expect("transform size covers the shaped chirp");
+    scratch
+        .echo_line
+        .load(&scratch.echo_shaped, &plan, &mut work)
+        .expect("transform size covers the echo waveform");
+
+    let total_len = hop * config.n_chirps;
+    let mut samples = vec![0.0; total_len];
+    let half = n / 2;
+    scratch.acc.resize(n, Complex64::ZERO);
+    for (c, cp) in scratch.chirps.iter().take(config.n_chirps).enumerate() {
+        // Only the lower half of the accumulator is ever read by the real
+        // inverse transform, so only the lower half needs clearing.
+        for z in &mut scratch.acc[..=half] {
+            *z = Complex64::ZERO;
+        }
+        // Direct leak, canal-wall multipath, eardrum echo: each path is one
+        // phase-ramp accumulation, no FFT.
+        scratch
+            .tx_line
+            .accumulate_into(&mut scratch.acc, DIRECT_DELAY_SAMPLES, dgain);
+        for &(delay, g) in &cp.wall {
+            scratch.tx_line.accumulate_into(&mut scratch.acc, delay, g);
+        }
+        scratch
+            .echo_line
+            .accumulate_into(&mut scratch.acc, cp.eardrum_delay, cp.eardrum_gain);
+        plan.inverse_into(&scratch.acc, &mut work, &mut scratch.time)
+            .expect("accumulator length matches the plan");
+
+        let start = c * hop;
+        let segment = &mut samples[start..start + seg_len];
+        for (s, t) in segment.iter_mut().zip(scratch.time.iter()) {
+            *s = *t;
+        }
+        // Motion transient: a short broadband thud early in the window.
+        for (s, t) in segment.iter_mut().zip(cp.transient.iter()) {
+            *s += *t;
+        }
+    }
+    scratch.dsp.put_complex(work);
+
+    // Microphone self-noise and ambient noise through the earbud seal,
+    // streamed in place.
+    rng.add_white_noise(&mut samples, device.mic_noise_rms());
+    noise::add_ambient_noise(
+        &mut samples,
+        config.noise_db_spl,
+        device.noise_isolation(),
+        rng,
+    );
+
+    Recording {
+        samples,
+        sample_rate: fs,
+        chirp_hop: hop,
+        n_chirps: config.n_chirps,
+        chirp_len,
+    }
+}
+
+/// The time-domain reference synthesis: one one-shot allpass delay (FFT
+/// pair) per path per chirp, summed in the time domain, with the current
+/// (polar-method) noise generators.
+///
+/// Kept as the reference implementation for the spectral path's
+/// equivalence suite: it consumes the RNG identically to
+/// [`synthesize_recording_with`], so the two agree within 1e-9. For the
+/// bit-exact pre-optimization algorithm — same superposition, Box–Muller
+/// noise draws — see [`synthesize_recording_legacy`].
+pub fn synthesize_recording_time_domain(
+    ear: &EarCanal,
+    response: &EardrumResponse,
+    config: &RecorderConfig,
+    rng: &mut SimRng,
+) -> Recording {
+    synthesize_time_domain_impl(ear, response, config, rng, false)
+}
+
+/// The literal pre-optimization synthesizer, retained bit-exact: per-path
+/// one-shot FFT delays **and** per-sample Box–Muller noise draws, exactly
+/// as the seed code produced them.
+///
+/// This is the benchmark baseline ("pre-PR one-shot path") — its cost
+/// profile and output values are frozen. It differs from
+/// [`synthesize_recording_time_domain`] only in the noise realization
+/// (Box–Muller vs. polar; identical distributions).
+pub fn synthesize_recording_legacy(
+    ear: &EarCanal,
+    response: &EardrumResponse,
+    config: &RecorderConfig,
+    rng: &mut SimRng,
+) -> Recording {
+    synthesize_time_domain_impl(ear, response, config, rng, true)
+}
+
+/// Shared body of the two time-domain synthesizers; `legacy_noise`
+/// selects the pre-optimization Box–Muller noise stream.
+fn synthesize_time_domain_impl(
+    ear: &EarCanal,
+    response: &EardrumResponse,
+    config: &RecorderConfig,
+    rng: &mut SimRng,
+    legacy_noise: bool,
+) -> Recording {
+    let fs = config.chirp.sample_rate;
+    let tx = config.chirp.samples();
+    let chirp_len = tx.len();
+    let hop = config.chirp.hop_samples(config.chirp_interval_s);
+
+    let mut padded = tx.clone();
+    padded.extend(std::iter::repeat_n(0.0, chirp_len.max(16)));
+    let device = config.device;
+    let tx_shaped = apply_frequency_response(&padded, fs, |f| device.response_gain(f));
+    let echo_shaped = apply_frequency_response(&tx_shaped, fs, |f| response.reflectance_at(f));
+
+    let coupling = rng.jitter(1.0 - device.coupling_quality());
+    let distance_offset = config.angle.sample_distance_offset(rng);
+    let eardrum_distance = (ear.eardrum_distance_m + distance_offset).clamp(0.015, 0.045);
+    let eardrum_delay = round_trip_delay_samples(eardrum_distance, fs) + DIRECT_DELAY_SAMPLES;
     let eardrum_gain = ear.eardrum_path_gain * config.angle.eardrum_gain_factor() * coupling;
 
     let total_len = hop * config.n_chirps;
@@ -143,9 +375,8 @@ pub fn synthesize_recording(
 
         // Canal-wall multipath.
         for &(dist, gain) in &ear.wall_paths {
-            let delay = earsonar_acoustics::propagation::round_trip_delay_samples(dist, fs)
-                + DIRECT_DELAY_SAMPLES
-                + rng.gaussian(0.0, 0.08);
+            let delay =
+                round_trip_delay_samples(dist, fs) + DIRECT_DELAY_SAMPLES + rng.gaussian(0.0, 0.08);
             let wall = delay_fractional_allpass(&tx_shaped, delay.max(0.0), seg_len);
             let g = gain * config.angle.wall_gain_factor() * coupling * rng.jitter(0.04);
             for (s, w) in segment.iter_mut().zip(&wall) {
@@ -174,17 +405,26 @@ pub fn synthesize_recording(
         samples[start..start + seg_len].copy_from_slice(&segment);
     }
 
-    // Microphone self-noise and ambient noise through the earbud seal.
-    let mic = rng.white_noise(total_len, device.mic_noise_rms());
-    for (s, m) in samples.iter_mut().zip(mic) {
-        *s += m;
+    if legacy_noise {
+        let mic = rng.white_noise(total_len, device.mic_noise_rms());
+        for (s, m) in samples.iter_mut().zip(mic) {
+            *s += m;
+        }
+        noise::add_ambient_noise_box_muller(
+            &mut samples,
+            config.noise_db_spl,
+            device.noise_isolation(),
+            rng,
+        );
+    } else {
+        rng.add_white_noise(&mut samples, device.mic_noise_rms());
+        noise::add_ambient_noise(
+            &mut samples,
+            config.noise_db_spl,
+            device.noise_isolation(),
+            rng,
+        );
     }
-    noise::add_ambient_noise(
-        &mut samples,
-        config.noise_db_spl,
-        device.noise_isolation(),
-        rng,
-    );
 
     Recording {
         samples,
@@ -193,6 +433,20 @@ pub fn synthesize_recording(
         n_chirps: config.n_chirps,
         chirp_len,
     }
+}
+
+/// FFT executions (forward + inverse, any size) per recording on the
+/// spectral path: two shaping filters (one pair each), one forward load
+/// per source waveform, and one inverse per chirp.
+pub fn spectral_ffts_per_recording(config: &RecorderConfig, _ear: &EarCanal) -> usize {
+    2 * 2 + 2 + config.n_chirps
+}
+
+/// FFT executions per recording on the time-domain reference path: two
+/// shaping filters plus one FFT **pair** per path (direct + walls +
+/// eardrum) per chirp.
+pub fn time_domain_ffts_per_recording(config: &RecorderConfig, ear: &EarCanal) -> usize {
+    2 * 2 + config.n_chirps * (2 + ear.wall_paths.len()) * 2
 }
 
 #[cfg(test)]
@@ -241,6 +495,115 @@ mod tests {
         let ra = synthesize_recording(&ear, &EardrumResponse::clear(), &cfg, &mut a);
         let rb = synthesize_recording(&ear, &EardrumResponse::clear(), &cfg, &mut b);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // A warm scratch carried across recordings (different ears, motion
+        // states, eardrum responses) must not leak state between calls.
+        let cfg_walk = RecorderConfig {
+            motion: Motion::Walking,
+            ..Default::default()
+        };
+        let cfg_sit = RecorderConfig::default();
+        let mut warm = SimScratch::new();
+        let mut rng_warm = SimRng::seed_from_u64(31);
+        let mut rng_cold = SimRng::seed_from_u64(31);
+        for (seed, cfg) in [(5u64, &cfg_walk), (6, &cfg_sit), (5, &cfg_walk)] {
+            let ear = test_ear(seed);
+            let resp = EardrumResponse::clear();
+            let a = synthesize_recording_with(&ear, &resp, cfg, &mut rng_warm, &mut warm);
+            let b = synthesize_recording(&ear, &resp, cfg, &mut rng_cold);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn spectral_matches_time_domain_reference() {
+        // The tentpole equivalence: spectral accumulation with one inverse
+        // FFT per chirp vs. the per-path one-shot reference, same seeds.
+        let resp = EardrumResponse::clear();
+        let mut scratch = SimScratch::new();
+        for (seed, motion) in [(2u64, Motion::Sit), (9, Motion::Walking), (21, Motion::Nodding)] {
+            let ear = test_ear(seed);
+            let cfg = RecorderConfig {
+                motion,
+                ..Default::default()
+            };
+            let mut a = SimRng::seed_from_u64(seed + 100);
+            let mut b = SimRng::seed_from_u64(seed + 100);
+            let spectral = synthesize_recording_with(&ear, &resp, &cfg, &mut a, &mut scratch);
+            let reference = synthesize_recording_time_domain(&ear, &resp, &cfg, &mut b);
+            let peak = reference
+                .samples
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(peak > 0.0);
+            for (i, (x, y)) in spectral
+                .samples
+                .iter()
+                .zip(&reference.samples)
+                .enumerate()
+            {
+                assert!(
+                    (x - y).abs() <= 1e-9 * peak,
+                    "seed {seed} sample {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_path_differs_only_in_noise_realization() {
+        // Same seed: the legacy (Box–Muller noise) and current (polar
+        // noise) time-domain syntheses share every structural draw, so
+        // their difference is pure noise — zero-mean, with RMS set by the
+        // mic and ambient levels, and tiny next to the signal.
+        let ear = test_ear(6);
+        let cfg = RecorderConfig::default();
+        let resp = EardrumResponse::clear();
+        let mut a = SimRng::seed_from_u64(55);
+        let mut b = SimRng::seed_from_u64(55);
+        let current = synthesize_recording_time_domain(&ear, &resp, &cfg, &mut a);
+        let legacy = synthesize_recording_legacy(&ear, &resp, &cfg, &mut b);
+        assert_eq!(current.samples.len(), legacy.samples.len());
+        let n = current.samples.len() as f64;
+        let diff: Vec<f64> = current
+            .samples
+            .iter()
+            .zip(&legacy.samples)
+            .map(|(x, y)| x - y)
+            .collect();
+        let mean = diff.iter().sum::<f64>() / n;
+        let rms_diff = (diff.iter().map(|v| v * v).sum::<f64>() / n).sqrt();
+        let rms_sig =
+            (current.samples.iter().map(|v| v * v).sum::<f64>() / n).sqrt();
+        assert!(rms_diff > 0.0, "noise realizations should differ");
+        assert!(mean.abs() < 0.2 * rms_diff, "mean {mean} vs rms {rms_diff}");
+        assert!(rms_diff < 0.05 * rms_sig, "diff {rms_diff} vs signal {rms_sig}");
+    }
+
+    #[test]
+    fn legacy_path_is_deterministic() {
+        let ear = test_ear(7);
+        let cfg = RecorderConfig::default();
+        let mut a = SimRng::seed_from_u64(12);
+        let mut b = SimRng::seed_from_u64(12);
+        assert_eq!(
+            synthesize_recording_legacy(&ear, &EardrumResponse::clear(), &cfg, &mut a),
+            synthesize_recording_legacy(&ear, &EardrumResponse::clear(), &cfg, &mut b),
+        );
+    }
+
+    #[test]
+    fn fft_counts_favor_spectral_path() {
+        let ear = test_ear(1);
+        let cfg = RecorderConfig::default();
+        let spectral = spectral_ffts_per_recording(&cfg, &ear);
+        let legacy = time_domain_ffts_per_recording(&cfg, &ear);
+        assert_eq!(spectral, 6 + cfg.n_chirps);
+        assert_eq!(legacy, 4 + cfg.n_chirps * (2 + ear.wall_paths.len()) * 2);
+        assert!(legacy > 3 * spectral, "{legacy} vs {spectral}");
     }
 
     #[test]

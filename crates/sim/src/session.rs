@@ -7,8 +7,9 @@
 
 use crate::effusion::MeeState;
 use crate::patient::Patient;
-use crate::recorder::{synthesize_recording, Recording};
+use crate::recorder::{synthesize_recording_with, Recording};
 use crate::rng::SimRng;
+use crate::scratch::SimScratch;
 
 pub use crate::recorder::RecorderConfig as SessionConfig;
 
@@ -32,6 +33,21 @@ impl Session {
     /// day (morning vs evening); the patient's own seed is mixed in so the
     /// same `(patient, day, visit_seed)` always reproduces the capture.
     pub fn record(patient: &Patient, day: u32, config: &SessionConfig, visit_seed: u64) -> Session {
+        let mut scratch = SimScratch::new();
+        Self::record_with(patient, day, config, visit_seed, &mut scratch)
+    }
+
+    /// [`Session::record`] with synthesis buffers drawn from a caller-owned
+    /// [`SimScratch`]. Bit-identical to the one-shot entry point — the
+    /// scratch holds no state that influences the samples — so a warm
+    /// scratch can be reused across sessions, days, and patients.
+    pub fn record_with(
+        patient: &Patient,
+        day: u32,
+        config: &SessionConfig,
+        visit_seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Session {
         let mut rng = SimRng::seed_from_u64(
             patient
                 .seed
@@ -40,7 +56,8 @@ impl Session {
         );
         let ground_truth = patient.state_on_day(day);
         let response = patient.eardrum_response_on_day(day, &mut rng);
-        let recording = synthesize_recording(&patient.ear, &response, config, &mut rng);
+        let recording =
+            synthesize_recording_with(&patient.ear, &response, config, &mut rng, scratch);
         Session {
             patient_id: patient.id,
             day,
