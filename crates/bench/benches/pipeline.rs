@@ -15,7 +15,7 @@ use earsonar_sim::cohort::Cohort;
 use earsonar_sim::recorder::{synthesize_recording, RecorderConfig};
 use earsonar_sim::rng::SimRng;
 use earsonar_sim::session::SessionConfig;
-use earsonar_sim::MeeState;
+use earsonar_sim::{MeeAcoustics, MeeState};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

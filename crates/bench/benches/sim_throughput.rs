@@ -15,7 +15,7 @@ use earsonar_sim::recorder::{
 };
 use earsonar_sim::rng::SimRng;
 use earsonar_sim::scratch::SimScratch;
-use earsonar_sim::MeeState;
+use earsonar_sim::{MeeAcoustics, MeeState};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -11,7 +11,7 @@ use earsonar::EarSonarConfig;
 use earsonar_bench::EXPERIMENT_SEED;
 use earsonar_dsp::correlation::pearson;
 use earsonar_sim::cohort::Cohort;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 
 fn profile_of(fe: &FrontEnd, s: &Session) -> Vec<f64> {
     fe.process(&s.recording).expect("process").spectrum.profile

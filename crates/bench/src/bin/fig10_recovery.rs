@@ -9,7 +9,7 @@ use earsonar::report::{num, Table};
 use earsonar::EarSonarConfig;
 use earsonar_bench::EXPERIMENT_SEED;
 use earsonar_sim::cohort::Cohort;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 use earsonar_sim::MeeState;
 
 fn main() {

@@ -33,7 +33,7 @@ use earsonar_sim::recorder::{
 use earsonar_sim::rng::SimRng;
 use earsonar_sim::scratch::SimScratch;
 use earsonar_sim::session::SessionConfig;
-use earsonar_sim::MeeState;
+use earsonar_sim::{MeeAcoustics, MeeState};
 use std::fmt::Write as _;
 use std::hint::black_box;
 

@@ -7,7 +7,7 @@ use earsonar::EarSonarConfig;
 use earsonar_sim::ear::EarCanal;
 use earsonar_sim::recorder::{synthesize_recording, RecorderConfig};
 use earsonar_sim::rng::SimRng;
-use earsonar_sim::MeeState;
+use earsonar_sim::{MeeAcoustics, MeeState};
 
 #[derive(Clone, Copy)]
 struct Unfreeze {

@@ -13,11 +13,14 @@
 use earsonar::eval::{loocv, ExtractedDataset};
 use earsonar::model_io::{load_model, save_model};
 use earsonar::report::{pct, Table};
+use earsonar::streaming::StreamingFrontEnd;
 use earsonar::{EarSonar, EarSonarConfig, MeeState};
-use earsonar_dsp::wav::{read_wav, write_wav, WavAudio, WavFormat};
+use earsonar_dsp::wav::{write_wav, WavAudio, WavFormat};
+use earsonar_signal::recording::{ChirpLayout, Recording};
+use earsonar_signal::source::SignalSource;
+use earsonar_signal::wav::WavSignalSource;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::dataset::{Dataset, DatasetSpec};
-use earsonar_sim::recorder::Recording;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,8 +32,13 @@ USAGE:
       Simulate a cohort's sessions as float32 WAV files + manifest.tsv.
   earsonar train    [--patients N] [--seed S] --model FILE
       Train the pipeline on a simulated cohort and save the model.
-  earsonar screen   --model FILE WAV [WAV...]
-      Screen one or more recordings with a trained model.
+  earsonar screen   --model FILE [--min-chirps N] WAV [WAV...]
+      Screen recordings chirp by chirp through the streaming front end,
+      reporting per-chirp progress; with --min-chirps N, stop pushing as
+      soon as N chirps have produced usable echoes.
+  earsonar screen-wav --model FILE WAV [WAV...]
+      Screen a WAV queue through the SignalSource capture interface (the
+      same code path a live capture backend would use).
   earsonar eval     [--patients N] [--seed S]
       Leave-one-participant-out evaluation on a simulated cohort.
   earsonar inspect  --model FILE WAV [WAV...]
@@ -43,6 +51,7 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     model: Option<PathBuf>,
+    min_chirps: Option<usize>,
     files: Vec<PathBuf>,
 }
 
@@ -54,6 +63,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         seed: 7,
         out: None,
         model: None,
+        min_chirps: None,
         files: Vec::new(),
     };
     let mut rest: Vec<String> = argv.collect();
@@ -83,6 +93,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--model" => {
                 i += 1;
                 args.model = Some(PathBuf::from(rest.get(i).ok_or("--model needs a path")?));
+            }
+            "--min-chirps" => {
+                i += 1;
+                args.min_chirps = Some(
+                    rest.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--min-chirps needs a number")?,
+                );
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
@@ -166,30 +184,66 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Wraps raw WAV samples as a pipeline recording, inferring the chirp grid
-/// from the configuration.
-fn recording_from_wav(path: &Path, config: &EarSonarConfig) -> Result<Recording, String> {
-    let audio = read_wav(path).map_err(|e| format!("reading {path:?}: {e}"))?;
-    if (audio.sample_rate as f64 - config.sample_rate).abs() > 1.0 {
-        return Err(format!(
-            "{path:?}: sample rate {} does not match the model's {}",
-            audio.sample_rate, config.sample_rate
-        ));
-    }
-    let hop = config.chirp_hop;
-    let n_chirps = audio.samples.len() / hop;
-    if n_chirps == 0 {
-        return Err(format!("{path:?}: shorter than one chirp interval"));
-    }
-    let mut samples = audio.samples;
-    samples.truncate(n_chirps * hop);
-    Ok(Recording {
-        samples,
+/// The chirp grid a model's configuration expects of its recordings.
+fn chirp_layout(config: &EarSonarConfig) -> ChirpLayout {
+    ChirpLayout {
         sample_rate: config.sample_rate,
-        chirp_hop: hop,
-        n_chirps,
         chirp_len: config.chirp_len,
-    })
+        chirp_hop: config.chirp_hop,
+    }
+}
+
+/// Reads a WAV file and frames it on the model's chirp grid.
+fn recording_from_wav(path: &Path, config: &EarSonarConfig) -> Result<Recording, String> {
+    earsonar_signal::wav::recording_from_wav(path, &chirp_layout(config))
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn verdict_line(state: MeeState) -> String {
+    if state == MeeState::Clear {
+        "clear".to_string()
+    } else {
+        format!("EFFUSION ({state})")
+    }
+}
+
+/// Pushes one recording chirp by chirp through a streaming front end,
+/// printing progress, and returns the verdict. With `min_chirps`, stops
+/// pushing as soon as that many chirps yielded usable echoes.
+fn screen_streaming(
+    system: &EarSonar,
+    rec: &Recording,
+    min_chirps: Option<usize>,
+) -> Result<MeeState, String> {
+    let mut stream = StreamingFrontEnd::new(system.front_end());
+    let mut early = false;
+    for c in 0..rec.n_chirps {
+        let window = rec
+            .try_chirp_window(c)
+            .ok_or("chirp window out of recording bounds")?;
+        stream.push_chirp(window).map_err(|e| e.to_string())?;
+        if c % 200 == 199 || c + 1 == rec.n_chirps {
+            eprint!(
+                "\r  chirp {}/{} ({} usable)",
+                c + 1,
+                rec.n_chirps,
+                stream.chirps_used()
+            );
+        }
+        if min_chirps.is_some_and(|min| stream.ready(min)) {
+            early = true;
+            break;
+        }
+    }
+    let d = stream.diagnostics();
+    eprintln!(
+        "\r  {} chirps pushed, {} usable{}",
+        d.chirps_pushed,
+        d.irs_estimated,
+        if early { " (stopped early)" } else { "" }
+    );
+    let processed = stream.finish().map_err(|e| e.to_string())?;
+    system.classify(&processed).map_err(|e| e.to_string())
 }
 
 fn cmd_screen(args: &Args) -> Result<(), String> {
@@ -200,18 +254,44 @@ fn cmd_screen(args: &Args) -> Result<(), String> {
     let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
     let config = system.front_end().config().clone();
     for file in &args.files {
+        eprintln!("screening {}…", file.display());
         match recording_from_wav(file, &config)
-            .and_then(|rec| system.screen(&rec).map_err(|e| e.to_string()))
+            .and_then(|rec| screen_streaming(&system, &rec, args.min_chirps))
         {
-            Ok(state) => {
-                let verdict = if state == MeeState::Clear {
-                    "clear".to_string()
-                } else {
-                    format!("EFFUSION ({state})")
-                };
-                println!("{}\t{verdict}", file.display());
-            }
+            Ok(state) => println!("{}\t{}", file.display(), verdict_line(state)),
             Err(e) => println!("{}\terror: {e}", file.display()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_screen_wav(args: &Args) -> Result<(), String> {
+    let model_path = args
+        .model
+        .as_ref()
+        .ok_or("screen-wav requires --model FILE")?;
+    if args.files.is_empty() {
+        return Err("screen-wav requires at least one WAV file".into());
+    }
+    let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
+    let layout = chirp_layout(system.front_end().config());
+    let mut source = WavSignalSource::new(layout, args.files.clone());
+    // Drain the capture queue exactly like a live backend: one capture at
+    // a time, failures skip to the next capture.
+    loop {
+        let label = source
+            .next_path()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| source.describe());
+        match source.capture() {
+            Ok(None) => break,
+            Ok(Some(rec)) => {
+                match screen_streaming(&system, &rec, args.min_chirps) {
+                    Ok(state) => println!("{label}\t{}", verdict_line(state)),
+                    Err(e) => println!("{label}\terror: {e}"),
+                }
+            }
+            Err(e) => println!("{label}\terror: {e}"),
         }
     }
     Ok(())
@@ -276,6 +356,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "train" => cmd_train(&args),
         "screen" => cmd_screen(&args),
+        "screen-wav" => cmd_screen_wav(&args),
         "eval" => cmd_eval(&args),
         "inspect" => cmd_inspect(&args),
         _ => Err(format!("unknown command `{command}`\n\n{USAGE}")),

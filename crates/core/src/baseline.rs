@@ -19,9 +19,9 @@ use earsonar_dsp::stats::Summary;
 use earsonar_ml::kmeans::{KMeans, KMeansConfig};
 use earsonar_ml::labeling::ClusterLabeling;
 use earsonar_ml::scaler::StandardScaler;
-use earsonar_sim::effusion::MeeState;
-use earsonar_sim::recorder::Recording;
-use earsonar_sim::session::Session;
+use earsonar_signal::effusion::MeeState;
+use earsonar_signal::recording::Recording;
+use earsonar_signal::session::Session;
 
 /// Number of coarse spectrum bins the baseline uses as features.
 const BASELINE_BINS: usize = 32;

@@ -14,10 +14,10 @@
 //! the `batch_determinism` integration tests).
 
 use crate::error::EarSonarError;
-use earsonar_sim::effusion::MeeState;
+use earsonar_signal::effusion::MeeState;
 use crate::pipeline::{EarSonar, FrontEnd, ProcessedRecording};
 use earsonar_dsp::plan::DspScratch;
-use earsonar_sim::recorder::Recording;
+use earsonar_signal::recording::Recording;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The worker count [`FrontEnd::process_batch`] uses: the machine's

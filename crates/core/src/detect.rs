@@ -14,7 +14,7 @@ use earsonar_ml::labeling::ClusterLabeling;
 use earsonar_ml::laplacian::{self, LaplacianConfig};
 use earsonar_ml::outlier;
 use earsonar_ml::scaler::StandardScaler;
-use earsonar_sim::effusion::MeeState;
+use earsonar_signal::effusion::MeeState;
 
 /// A fitted MEE detector.
 #[derive(Debug, Clone)]

@@ -4,8 +4,38 @@
 
 use crate::error::EarSonarError;
 use crate::pipeline::{FrontEnd, ProcessedRecording};
-use earsonar_sim::recorder::Recording;
+use earsonar_signal::recording::Recording;
 use std::fmt::Write as _;
+
+/// Per-stage counters accumulated while a recording moves through the
+/// front end, chirp by chirp. Both the batch path ([`FrontEnd::process`])
+/// and the streaming path ([`crate::streaming::StreamingFrontEnd`]) fill
+/// these in; a healthy quiet-room recording has every counter close to
+/// the chirp count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// Chirp windows handed to the front end.
+    pub chirps_pushed: usize,
+    /// Windows the band-pass preprocessing stage rejected.
+    pub filter_failures: usize,
+    /// Windows in which the adaptive-energy detector found an event.
+    pub events_detected: usize,
+    /// Windows that yielded a channel impulse response.
+    pub irs_estimated: usize,
+    /// Impulse responses that produced a usable echo spectrum.
+    pub spectra_computed: usize,
+}
+
+impl Diagnostics {
+    /// Fraction of pushed chirps that survived to the spectrum stage
+    /// (`1.0` when nothing was pushed, so an empty stream reads healthy).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.chirps_pushed == 0 {
+            return 1.0;
+        }
+        self.spectra_computed as f64 / self.chirps_pushed as f64
+    }
+}
 
 /// Unicode sparkline of a sequence (8 levels). Empty input gives an empty
 /// string; constant input renders at the lowest level.
@@ -114,6 +144,17 @@ fn render_report(
             }
         );
     }
+    let d = &p.diagnostics;
+    let _ = writeln!(
+        out,
+        "stages    pushed {} | filter drops {} | events {} | irs {} | spectra {} ({:.0}% yield)",
+        d.chirps_pushed,
+        d.filter_failures,
+        d.events_detected,
+        d.irs_estimated,
+        d.spectra_computed,
+        d.yield_fraction() * 100.0
+    );
     out
 }
 
@@ -122,7 +163,7 @@ mod tests {
     use super::*;
     use crate::config::EarSonarConfig;
     use earsonar_sim::cohort::Cohort;
-    use earsonar_sim::session::{Session, SessionConfig};
+    use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 
     #[test]
     fn sparkline_shapes() {

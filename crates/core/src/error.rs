@@ -2,6 +2,7 @@
 
 use earsonar_dsp::DspError;
 use earsonar_ml::MlError;
+use earsonar_signal::source::SignalError;
 use std::error::Error;
 use std::fmt;
 
@@ -13,6 +14,8 @@ pub enum EarSonarError {
     Dsp(DspError),
     /// A learning-stage operation failed.
     Ml(MlError),
+    /// A [`earsonar_signal::source::SignalSource`] failed to capture.
+    Signal(SignalError),
     /// No usable eardrum echo was found in the recording.
     NoEchoDetected,
     /// The recording is too short or malformed for the configured pipeline.
@@ -36,6 +39,7 @@ impl fmt::Display for EarSonarError {
         match self {
             EarSonarError::Dsp(e) => write!(f, "dsp error: {e}"),
             EarSonarError::Ml(e) => write!(f, "learning error: {e}"),
+            EarSonarError::Signal(e) => write!(f, "signal source error: {e}"),
             EarSonarError::NoEchoDetected => write!(f, "no eardrum echo detected in recording"),
             EarSonarError::BadRecording { reason } => write!(f, "bad recording: {reason}"),
             EarSonarError::BadConfig { name, constraint } => {
@@ -51,6 +55,7 @@ impl Error for EarSonarError {
         match self {
             EarSonarError::Dsp(e) => Some(e),
             EarSonarError::Ml(e) => Some(e),
+            EarSonarError::Signal(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +70,12 @@ impl From<DspError> for EarSonarError {
 impl From<MlError> for EarSonarError {
     fn from(e: MlError) -> Self {
         EarSonarError::Ml(e)
+    }
+}
+
+impl From<SignalError> for EarSonarError {
+    fn from(e: SignalError) -> Self {
+        EarSonarError::Signal(e)
     }
 }
 

@@ -14,8 +14,8 @@ use crate::pipeline::FrontEnd;
 use crate::preprocess::Preprocessor;
 use earsonar_ml::crossval::{leave_one_group_out, stratified_split};
 use earsonar_ml::metrics::ClassificationReport;
-use earsonar_sim::effusion::MeeState;
-use earsonar_sim::session::Session;
+use earsonar_signal::effusion::MeeState;
+use earsonar_signal::session::Session;
 
 /// Features and labels extracted from a session set, ready for fold loops.
 #[derive(Debug, Clone)]

@@ -33,11 +33,33 @@ impl EventSpan {
 /// Runs the paper's adaptive-energy event detector over a preprocessed
 /// signal, returning the detected event spans.
 ///
+/// The open/close power floor `μ̄` is the signal's own mean power; use
+/// [`detect_events_with_floor`] to supply a floor estimated over a longer
+/// horizon (the streaming pipeline tracks one across chirp windows).
+///
 /// # Errors
 ///
 /// Returns [`EarSonarError::BadRecording`] if the signal is shorter than
 /// one event window.
 pub fn detect_events(signal: &[f64], config: &EarSonarConfig) -> Result<Vec<EventSpan>, EarSonarError> {
+    let n = signal.len().max(1);
+    let global_mean = signal.iter().map(|&x| x * x).sum::<f64>() / n as f64;
+    detect_events_with_floor(signal, global_mean, config)
+}
+
+/// [`detect_events`] with an externally supplied power floor `μ̄` (Eq. 6's
+/// global average power). Events open above `μ + σ` *and* above the floor,
+/// and close when the power falls back below the floor.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::BadRecording`] if the signal is shorter than
+/// one event window.
+pub fn detect_events_with_floor(
+    signal: &[f64],
+    global_mean: f64,
+    config: &EarSonarConfig,
+) -> Result<Vec<EventSpan>, EarSonarError> {
     let w = config.event_window.max(2);
     if signal.len() < w {
         return Err(EarSonarError::BadRecording {
@@ -46,7 +68,6 @@ pub fn detect_events(signal: &[f64], config: &EarSonarConfig) -> Result<Vec<Even
     }
     let n = signal.len();
     let power: Vec<f64> = signal.iter().map(|&x| x * x).collect();
-    let global_mean = power.iter().sum::<f64>() / n as f64;
 
     // Eq. 7: windowed cumulative power A(i) and windowed deviation B(i).
     // Eq. 6: exponential updates of mu(i) and sigma(i) with factor 1/W.

@@ -22,6 +22,8 @@
 //! * [`detect`] — Laplacian-score selection, k-means clustering, outlier
 //!   handling, and cluster labelling (§IV-C-2/3/4),
 //! * [`pipeline`] — the end-to-end [`pipeline::EarSonar`] system,
+//! * [`streaming`] — the same front end fed chirp by chirp as samples
+//!   arrive, bit-identical to batch processing,
 //! * [`batch`] — scoped-thread batch processing with per-worker DSP
 //!   scratch (bit-identical to sequential processing),
 //! * [`baseline`] — a Chan-et-al-style comparator without fine-grained
@@ -78,10 +80,14 @@ pub mod preprocess;
 pub mod report;
 pub mod screening;
 pub mod segment;
+pub mod streaming;
 
 pub use config::EarSonarConfig;
 pub use error::EarSonarError;
 pub use pipeline::EarSonar;
+pub use streaming::StreamingFrontEnd;
 
-/// Re-export of the effusion-state enum shared with the simulator.
-pub use earsonar_sim::effusion::MeeState;
+/// Re-export of the effusion-state enum shared with the detection core's
+/// foundation crate (`earsonar-signal`); the simulator re-exports the
+/// same type, so simulator sessions label recordings with this enum.
+pub use earsonar_signal::effusion::MeeState;

@@ -277,7 +277,7 @@ pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
     let kmeans = KMeans::from_centroids(centroids)?;
     let labeling = ClusterLabeling::from_mapping(
         usizes(get("labeling")?)?,
-        earsonar_sim::effusion::MeeState::COUNT,
+        earsonar_signal::effusion::MeeState::COUNT,
     )?;
 
     let detector = EarSonarDetector::from_components(scaler, selected, kmeans, labeling)?;

@@ -12,15 +12,16 @@ use crate::cancel::chirp_template;
 use earsonar_acoustics::propagation::delay_fractional_allpass_with;
 use crate::config::EarSonarConfig;
 use crate::detect::EarSonarDetector;
+use crate::diagnostics::Diagnostics;
 use crate::error::EarSonarError;
-use crate::event::{detect_events, events_per_chirp};
+use crate::event::detect_events_with_floor;
 use crate::features::FeatureExtractor;
 use crate::preprocess::Preprocessor;
 use crate::segment::{segment_with_anchor, EardrumEcho};
 use earsonar_dsp::plan::DspScratch;
-use earsonar_sim::effusion::MeeState;
-use earsonar_sim::recorder::Recording;
-use earsonar_sim::session::Session;
+use earsonar_signal::effusion::MeeState;
+use earsonar_signal::recording::Recording;
+use earsonar_signal::session::Session;
 
 pub use crate::config::EarSonarConfig as Config;
 
@@ -35,6 +36,46 @@ pub struct ProcessedRecording {
     pub echoes: Vec<EardrumEcho>,
     /// How many chirps contributed.
     pub chirps_used: usize,
+    /// Per-stage counters gathered while the chirps moved through.
+    pub diagnostics: Diagnostics,
+}
+
+/// What became of one chirp window handed to the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChirpOutcome {
+    /// The window produced a channel impulse response.
+    Used,
+    /// No acoustic event rose above the running power floor.
+    NoEvent,
+    /// Band-pass preprocessing rejected the window.
+    FilterFailed,
+    /// Wiener deconvolution failed on the window.
+    EstimationFailed,
+}
+
+impl ChirpOutcome {
+    /// Returns `true` if the chirp contributed an impulse response.
+    pub fn is_used(self) -> bool {
+        matches!(self, ChirpOutcome::Used)
+    }
+}
+
+/// Running state accumulated across pushed chirp windows: the per-chirp
+/// impulse responses awaiting the recording-level finalize stages, the
+/// power statistics behind the event detector's noise floor, and the
+/// stage counters. Shared by the batch and streaming paths so they are
+/// the same computation by construction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChirpAccumulator {
+    pub(crate) irs: Vec<Vec<f64>>,
+    pub(crate) power_sum: f64,
+    pub(crate) power_len: usize,
+    /// Raw tail of the previous chirp window, kept as left context for the
+    /// zero-phase filter so a window's chirp burst is filtered against the
+    /// quiet inter-chirp gap that actually preceded it, not against its
+    /// own edge reflection.
+    pub(crate) prev_tail: Vec<f64>,
+    pub(crate) diagnostics: Diagnostics,
 }
 
 /// The signal-processing front end, reusable without a fitted detector.
@@ -107,6 +148,12 @@ impl FrontEnd {
     /// (see [`crate::batch`]) keep one scratch per worker thread across
     /// recordings. Results are bit-identical to [`FrontEnd::process`].
     ///
+    /// Internally this is the same per-chirp staged computation the
+    /// streaming path runs ([`crate::streaming::StreamingFrontEnd`]): each
+    /// chirp window goes through [`FrontEnd::push_window`] in order, and
+    /// the recording-level stages run once in [`FrontEnd::finalize`] — so
+    /// batch and streaming results are bit-identical by construction.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`FrontEnd::process`].
@@ -120,33 +167,100 @@ impl FrontEnd {
                 reason: "empty recording",
             });
         }
-        let filtered = self.preprocessor.run(&recording.samples)?;
-        let events = detect_events(&filtered, &self.config)?;
-        let per_chirp_events =
-            events_per_chirp(&events, recording.chirp_hop, recording.n_chirps);
-
-        // Per-chirp channel impulse responses (Wiener deconvolution by
-        // the known chirp), then a coherent average across chirps.
-        let mut irs: Vec<Vec<f64>> = Vec::new();
-        for (c, event) in per_chirp_events.iter().enumerate().take(recording.n_chirps) {
-            if event.is_none() {
-                continue;
-            }
-            let start = c * recording.chirp_hop;
-            let end = (start + recording.chirp_hop).min(filtered.len());
-            let mut ir = Vec::with_capacity(self.estimator.n_taps());
-            if self
-                .estimator
-                .estimate_with(scratch, &filtered[start..end], &mut ir)
-                .is_ok()
-            {
-                irs.push(ir);
-            }
+        let mut acc = ChirpAccumulator::default();
+        for c in 0..recording.n_chirps {
+            let window = recording
+                .try_chirp_window(c)
+                .ok_or(EarSonarError::BadRecording {
+                    reason: "recording claims more chirps than it has samples",
+                })?;
+            let _ = self.push_window(scratch, &mut acc, window);
         }
-        if irs.is_empty() {
+        self.finalize(scratch, acc)
+    }
+
+    /// Stage 1, per chirp: band-pass filter one chirp window, gate it on
+    /// the adaptive-energy event detector, and — when an event is present
+    /// — Wiener-deconvolve it into a channel impulse response accumulated
+    /// for the finalize stages. Failures are recorded in the accumulator's
+    /// [`Diagnostics`], never raised: a bad chirp is data loss, not an
+    /// error.
+    pub(crate) fn push_window(
+        &self,
+        scratch: &mut DspScratch,
+        acc: &mut ChirpAccumulator,
+        window: &[f64],
+    ) -> ChirpOutcome {
+        acc.diagnostics.chirps_pushed += 1;
+        // Filter the window with the previous window's raw tail as left
+        // context, then drop the context from the output: the chirp burst
+        // at the window's start is filtered against the quiet gap that
+        // really preceded it instead of its own edge reflection.
+        let ctx = acc.prev_tail.len();
+        let mut contextual = Vec::with_capacity(ctx + window.len());
+        contextual.extend_from_slice(&acc.prev_tail);
+        contextual.extend_from_slice(window);
+        let keep = window.len().min(self.preprocessor.context_len());
+        acc.prev_tail.clear();
+        acc.prev_tail.extend_from_slice(&window[window.len() - keep..]);
+        let mut filtered = match self.preprocessor.run(&contextual) {
+            Ok(f) => f,
+            Err(_) => {
+                acc.diagnostics.filter_failures += 1;
+                return ChirpOutcome::FilterFailed;
+            }
+        };
+        filtered.drain(..ctx);
+        // Running mean power over every window seen so far — the causal
+        // analogue of the batch detector's whole-recording power floor.
+        // Chirp `c` sees the floor of chirps `0..=c`, identically in the
+        // batch and streaming paths.
+        acc.power_sum += filtered.iter().map(|&x| x * x).sum::<f64>();
+        acc.power_len += filtered.len();
+        let floor = if acc.power_len == 0 {
+            0.0
+        } else {
+            acc.power_sum / acc.power_len as f64
+        };
+        let has_event = match detect_events_with_floor(&filtered, floor, &self.config) {
+            Ok(events) => !events.is_empty(),
+            // A window shorter than the detection window cannot hold an
+            // event (trailing partial chirp).
+            Err(_) => false,
+        };
+        if !has_event {
+            return ChirpOutcome::NoEvent;
+        }
+        acc.diagnostics.events_detected += 1;
+        let mut ir = Vec::with_capacity(self.estimator.n_taps());
+        match self.estimator.estimate_with(scratch, &filtered, &mut ir) {
+            Ok(_) => {
+                acc.diagnostics.irs_estimated += 1;
+                acc.irs.push(ir);
+                ChirpOutcome::Used
+            }
+            Err(_) => ChirpOutcome::EstimationFailed,
+        }
+    }
+
+    /// Stage 2, per recording: coherently average the accumulated impulse
+    /// responses, segment the eardrum echo on the average, align every IR
+    /// to the echo's subsample position, and reduce the per-chirp echo
+    /// spectra to the feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if no accumulated chirp
+    /// yields a usable echo.
+    pub(crate) fn finalize(
+        &self,
+        scratch: &mut DspScratch,
+        mut acc: ChirpAccumulator,
+    ) -> Result<ProcessedRecording, EarSonarError> {
+        if acc.irs.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }
-        let avg_ir = average_irs(&irs)?;
+        let avg_ir = average_irs(&acc.irs)?;
 
         // The transmit grid fixes the delay origin: the direct leak (tiny
         // by hardware design) arrives one sample in. Absolute spectral
@@ -174,7 +288,7 @@ impl FrontEnd {
         let mut spectra: Vec<EchoSpectrum> = Vec::new();
         let mut echoes: Vec<EardrumEcho> = Vec::new();
         let mut ir_aligned = scratch.take_real();
-        for ir in &irs {
+        for ir in &acc.irs {
             delay_fractional_allpass_with(ir, shift, aligned_len, scratch, &mut ir_aligned)?;
             if let Ok(s) =
                 echo_ir_spectrum(&ir_aligned, aligned_center, calibration, &self.config)
@@ -187,6 +301,7 @@ impl FrontEnd {
         if spectra.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }
+        acc.diagnostics.spectra_computed = spectra.len();
         let averaged = average_spectra(&spectra)?;
         let features = self
             .extractor
@@ -196,6 +311,7 @@ impl FrontEnd {
             spectrum: averaged,
             echoes,
             chirps_used: spectra.len(),
+            diagnostics: acc.diagnostics,
         })
     }
 }
@@ -256,6 +372,17 @@ impl EarSonar {
     /// [`EarSonarError::BadRecording`]) and prediction errors.
     pub fn screen(&self, recording: &Recording) -> Result<MeeState, EarSonarError> {
         let processed = self.front_end.process(recording)?;
+        self.detector.predict(&processed.features)
+    }
+
+    /// Classifies an already-processed recording — the second half of
+    /// [`EarSonar::screen`] for callers that ran the front end themselves
+    /// (e.g. through [`crate::streaming::StreamingFrontEnd`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn classify(&self, processed: &ProcessedRecording) -> Result<MeeState, EarSonarError> {
         self.detector.predict(&processed.features)
     }
 

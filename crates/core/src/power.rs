@@ -11,7 +11,7 @@
 use crate::detect::EarSonarDetector;
 use crate::pipeline::FrontEnd;
 use crate::preprocess::Preprocessor;
-use earsonar_sim::recorder::Recording;
+use earsonar_signal::recording::Recording;
 use std::time::Instant;
 
 /// Per-stage latency of one screening, in milliseconds.

@@ -48,6 +48,13 @@ impl Preprocessor {
     pub fn filter(&self) -> &BiquadCascade {
         &self.filter
     }
+
+    /// The edge-padding length of the zero-phase filter — also how many
+    /// samples of preceding context a windowed caller should supply so the
+    /// window's interior is filtered as if it sat inside the full stream.
+    pub fn context_len(&self) -> usize {
+        self.pad
+    }
 }
 
 #[cfg(test)]

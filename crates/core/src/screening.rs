@@ -9,8 +9,8 @@
 
 use crate::error::EarSonarError;
 use crate::pipeline::EarSonar;
-use earsonar_sim::effusion::MeeState;
-use earsonar_sim::recorder::Recording;
+use earsonar_signal::effusion::MeeState;
+use earsonar_signal::recording::Recording;
 
 /// The binary screening verdict a caregiver acts on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,7 +126,8 @@ impl HomeScreening {
         for s in recent {
             counts[s.index()] += 1;
         }
-        let best = *counts.iter().max().expect("non-empty");
+        // `counts` is a fixed-size array, so `max` always exists.
+        let best = counts.iter().copied().max().unwrap_or(0);
         (0..MeeState::COUNT)
             .filter(|&k| counts[k] == best)
             .map(MeeState::from_index)
@@ -200,7 +201,7 @@ mod tests {
     use crate::config::EarSonarConfig;
     use earsonar_sim::cohort::Cohort;
     use earsonar_sim::dataset::{Dataset, DatasetSpec};
-    use earsonar_sim::session::{Session, SessionConfig};
+    use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 
     fn trained_system() -> EarSonar {
         let data = Dataset::build(&Cohort::generate(8, 3), &DatasetSpec::default());

@@ -1,0 +1,270 @@
+//! Incremental, chirp-at-a-time front-end processing.
+//!
+//! On hardware the microphone delivers audio as it is captured; waiting
+//! for the full 10 s session before any processing starts wastes both
+//! latency and the chance to stop early once enough clean chirps are in.
+//! [`StreamingFrontEnd`] accepts the sample stream incrementally — whole
+//! chirp windows via [`StreamingFrontEnd::push_chirp`] or arbitrary
+//! capture-buffer chunks via [`StreamingFrontEnd::push_samples`] — runs
+//! the per-chirp stages as each window completes, and defers the
+//! recording-level stages to [`StreamingFrontEnd::finish`].
+//!
+//! The streaming path is **bit-identical** to [`FrontEnd::process`]: both
+//! drive the same [`FrontEnd`] per-chirp stage over the same window
+//! sequence and the same finalize stage over the accumulated impulse
+//! responses, so every float comes out equal regardless of how the
+//! samples were chunked on the way in (see `tests/streaming_equivalence`).
+
+use crate::error::EarSonarError;
+use crate::diagnostics::Diagnostics;
+use crate::pipeline::{ChirpAccumulator, ChirpOutcome, FrontEnd, ProcessedRecording};
+use earsonar_dsp::plan::DspScratch;
+use earsonar_signal::recording::Recording;
+use earsonar_signal::source::SignalSource;
+
+/// A front end fed one chirp (or one capture buffer) at a time.
+///
+/// # Example
+///
+/// ```
+/// # use earsonar::pipeline::FrontEnd;
+/// # use earsonar::streaming::StreamingFrontEnd;
+/// # use earsonar::EarSonarConfig;
+/// # use earsonar_sim::cohort::Cohort;
+/// # use earsonar_sim::session::{RecordSession, Session, SessionConfig};
+/// let front_end = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+/// let cohort = Cohort::generate(1, 5);
+/// let session = Session::record(&cohort.patients()[0], 0, &SessionConfig::default(), 0);
+///
+/// let mut stream = StreamingFrontEnd::new(&front_end);
+/// for chunk in session.recording.samples.chunks(480) {
+///     stream.push_samples(chunk).unwrap();
+/// }
+/// let processed = stream.finish().unwrap();
+/// assert!(processed.chirps_used > 0);
+/// ```
+#[derive(Debug)]
+pub struct StreamingFrontEnd<'a> {
+    front_end: &'a FrontEnd,
+    scratch: DspScratch,
+    acc: ChirpAccumulator,
+    /// Samples of the partially received current chirp window.
+    buffer: Vec<f64>,
+    hop: usize,
+}
+
+impl<'a> StreamingFrontEnd<'a> {
+    /// Starts a stream over `front_end`, expecting chirp windows of the
+    /// configured hop length.
+    pub fn new(front_end: &'a FrontEnd) -> Self {
+        let hop = front_end.config().chirp_hop.max(1);
+        StreamingFrontEnd {
+            front_end,
+            scratch: DspScratch::new(),
+            acc: ChirpAccumulator::default(),
+            buffer: Vec::with_capacity(hop),
+            hop,
+        }
+    }
+
+    /// The chirp-window length the stream consumes, in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Pushes one whole chirp window and runs the per-chirp stages on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadRecording`] if the stream holds a
+    /// partially received window (mixing [`StreamingFrontEnd::push_samples`]
+    /// chunks with whole-window pushes at a misaligned point would silently
+    /// shear every later chirp off the transmit grid).
+    pub fn push_chirp(&mut self, window: &[f64]) -> Result<ChirpOutcome, EarSonarError> {
+        if !self.buffer.is_empty() {
+            return Err(EarSonarError::BadRecording {
+                reason: "push_chirp on a stream holding a partial chirp window",
+            });
+        }
+        Ok(self
+            .front_end
+            .push_window(&mut self.scratch, &mut self.acc, window))
+    }
+
+    /// Pushes an arbitrary chunk of the sample stream, processing every
+    /// chirp window it completes. Returns how many windows completed.
+    ///
+    /// Chunk boundaries are irrelevant to the result: any partition of the
+    /// same sample stream yields the same state, because windows are only
+    /// processed once `hop` samples are in.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (per-chirp failures are recorded
+    /// as diagnostics, not raised); the `Result` keeps room for backends
+    /// that validate sample chunks.
+    pub fn push_samples(&mut self, chunk: &[f64]) -> Result<usize, EarSonarError> {
+        self.buffer.extend_from_slice(chunk);
+        let mut completed = 0;
+        let mut start = 0;
+        while self.buffer.len() - start >= self.hop {
+            // Split borrows: the window lives in `buffer` while the front
+            // end mutates only scratch and accumulator.
+            let window = &self.buffer[start..start + self.hop];
+            let _ = self
+                .front_end
+                .push_window(&mut self.scratch, &mut self.acc, window);
+            start += self.hop;
+            completed += 1;
+        }
+        if start > 0 {
+            self.buffer.drain(..start);
+        }
+        Ok(completed)
+    }
+
+    /// Chirp windows pushed so far (complete windows only).
+    pub fn chirps_pushed(&self) -> usize {
+        self.acc.diagnostics.chirps_pushed
+    }
+
+    /// Chirps that survived to an impulse response so far.
+    pub fn chirps_used(&self) -> usize {
+        self.acc.diagnostics.irs_estimated
+    }
+
+    /// Per-stage counters accumulated so far.
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.acc.diagnostics
+    }
+
+    /// Returns `true` once at least `min_chirps` chirps have produced
+    /// impulse responses — the early-finish signal: a caller may stop
+    /// pushing and call [`StreamingFrontEnd::finish`] without waiting for
+    /// the rest of the capture.
+    pub fn ready(&self, min_chirps: usize) -> bool {
+        self.chirps_used() >= min_chirps.max(1)
+    }
+
+    /// Runs the recording-level stages over everything pushed so far and
+    /// returns the processed recording. A trailing partial window (fewer
+    /// than `hop` buffered samples) is pushed first, exactly as the batch
+    /// path processes a short final chirp window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if no pushed chirp
+    /// yielded a usable echo.
+    pub fn finish(mut self) -> Result<ProcessedRecording, EarSonarError> {
+        if !self.buffer.is_empty() {
+            let tail = std::mem::take(&mut self.buffer);
+            let _ = self
+                .front_end
+                .push_window(&mut self.scratch, &mut self.acc, &tail);
+        }
+        self.front_end.finalize(&mut self.scratch, self.acc)
+    }
+}
+
+/// Screens one capture from a [`SignalSource`] through a streaming front
+/// end: captures a recording, pushes it chirp by chirp, and finalizes.
+/// Returns `Ok(None)` when the source is exhausted.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::Signal`] for capture failures and propagates
+/// front-end errors.
+pub fn process_next_capture(
+    front_end: &FrontEnd,
+    source: &mut dyn SignalSource,
+) -> Result<Option<ProcessedRecording>, EarSonarError> {
+    let recording: Recording = match source.capture().map_err(EarSonarError::Signal)? {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let mut stream = StreamingFrontEnd::new(front_end);
+    stream.push_samples(&recording.samples)?;
+    stream.finish().map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EarSonarConfig;
+    use earsonar_sim::cohort::Cohort;
+    use earsonar_sim::session::{RecordSession, Session, SessionConfig};
+    use earsonar_sim::source::SimulatedEar;
+
+    fn recording() -> Recording {
+        let cohort = Cohort::generate(1, 21);
+        Session::record(&cohort.patients()[0], 0, &SessionConfig::default(), 0).recording
+    }
+
+    #[test]
+    fn chirp_pushes_match_batch() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = recording();
+        let batch = fe.process(&rec).unwrap();
+
+        let mut stream = StreamingFrontEnd::new(&fe);
+        for c in 0..rec.n_chirps {
+            stream.push_chirp(rec.chirp_window(c)).unwrap();
+        }
+        assert_eq!(stream.chirps_pushed(), rec.n_chirps);
+        let streamed = stream.finish().unwrap();
+        assert_eq!(streamed.features, batch.features);
+        assert_eq!(streamed.chirps_used, batch.chirps_used);
+        assert_eq!(streamed.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn misaligned_push_chirp_is_rejected() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = recording();
+        let mut stream = StreamingFrontEnd::new(&fe);
+        stream.push_samples(&rec.samples[..100]).unwrap();
+        assert!(matches!(
+            stream.push_chirp(rec.chirp_window(1)),
+            Err(EarSonarError::BadRecording { .. })
+        ));
+    }
+
+    #[test]
+    fn early_finish_after_enough_chirps() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = recording();
+        let mut stream = StreamingFrontEnd::new(&fe);
+        let mut pushed = 0;
+        for c in 0..rec.n_chirps {
+            stream.push_chirp(rec.chirp_window(c)).unwrap();
+            pushed += 1;
+            if stream.ready(8) {
+                break;
+            }
+        }
+        assert!(pushed < rec.n_chirps, "early finish never triggered");
+        let p = stream.finish().unwrap();
+        assert!(p.chirps_used >= 8);
+        assert_eq!(p.features.len(), crate::features::FEATURE_COUNT);
+    }
+
+    #[test]
+    fn empty_stream_has_no_echo() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let stream = StreamingFrontEnd::new(&fe);
+        assert!(matches!(
+            stream.finish(),
+            Err(EarSonarError::NoEchoDetected)
+        ));
+    }
+
+    #[test]
+    fn source_screening_round_trip() {
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let cohort = Cohort::generate(1, 13);
+        let mut source = SimulatedEar::new(cohort.patients()[0].clone(), SessionConfig::default());
+        let p = process_next_capture(&fe, &mut source).unwrap().unwrap();
+        assert!(p.chirps_used > 0);
+        assert_eq!(p.features.len(), crate::features::FEATURE_COUNT);
+    }
+}

@@ -1,0 +1,49 @@
+//! Labelled measurement sessions.
+//!
+//! The study collected "acoustic data for 10 s … every time at 8 am and
+//! 6 pm each day" for each participant (paper §VI-A). A [`Session`] is one
+//! such visit: a captured recording plus its pneumatic-otoscope ground
+//! truth. The struct is capture-agnostic — the simulator records sessions
+//! from virtual patients (see `earsonar_sim::session::RecordSession`), and
+//! a clinical deployment would build them from device captures plus an
+//! otoscope chart.
+
+use crate::effusion::MeeState;
+use crate::recording::Recording;
+
+/// One labelled recording session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The participant's id.
+    pub patient_id: usize,
+    /// Study day of the visit (0 = admission).
+    pub day: u32,
+    /// The captured recording.
+    pub recording: Recording,
+    /// Ground-truth effusion state (the "pneumatic otoscope" label).
+    pub ground_truth: MeeState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_is_plain_data() {
+        let s = Session {
+            patient_id: 3,
+            day: 5,
+            recording: Recording {
+                samples: vec![0.0; 240],
+                sample_rate: 48_000.0,
+                chirp_hop: 240,
+                n_chirps: 1,
+                chirp_len: 24,
+            },
+            ground_truth: MeeState::Serous,
+        };
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert_eq!(t.ground_truth.label(), "Serous");
+    }
+}

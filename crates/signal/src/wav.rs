@@ -1,0 +1,170 @@
+//! A [`SignalSource`] over WAV files.
+//!
+//! The second, non-simulated capture backend: recordings decoded from
+//! audio files via `earsonar_dsp::wav`. Its existence is what makes the
+//! signal/simulator boundary real — the pipeline screens file captures
+//! through exactly the same types and trait the simulator produces.
+
+use crate::recording::{ChirpLayout, Recording};
+use crate::source::{SignalError, SignalSource};
+use earsonar_dsp::wav::read_wav;
+use std::path::{Path, PathBuf};
+
+/// How far a file's sample rate may deviate from the layout's (hertz)
+/// before the capture is rejected — headers round, physics does not.
+const RATE_TOLERANCE_HZ: f64 = 1.0;
+
+/// Decodes one WAV file into a [`Recording`] on `layout`, truncating to a
+/// whole number of chirp hops.
+///
+/// # Errors
+///
+/// Returns [`SignalError::Dsp`] for I/O or decode failures,
+/// [`SignalError::RateMismatch`] when the file's rate disagrees with the
+/// layout, and [`SignalError::BadLayout`] when the audio is shorter than
+/// one chirp hop.
+pub fn recording_from_wav(
+    path: impl AsRef<Path>,
+    layout: &ChirpLayout,
+) -> Result<Recording, SignalError> {
+    let audio = read_wav(path)?;
+    if (audio.sample_rate as f64 - layout.sample_rate).abs() > RATE_TOLERANCE_HZ {
+        return Err(SignalError::RateMismatch {
+            found: audio.sample_rate as f64,
+            expected: layout.sample_rate,
+        });
+    }
+    layout.frame(audio.samples).ok_or(SignalError::BadLayout {
+        reason: "audio shorter than one chirp interval",
+    })
+}
+
+/// A [`SignalSource`] that walks a list of WAV files, yielding one
+/// recording per file.
+#[derive(Debug, Clone)]
+pub struct WavSignalSource {
+    layout: ChirpLayout,
+    paths: Vec<PathBuf>,
+    next: usize,
+}
+
+impl WavSignalSource {
+    /// Builds a source over `paths`, each decoded on `layout`.
+    pub fn new(layout: ChirpLayout, paths: Vec<PathBuf>) -> Self {
+        WavSignalSource {
+            layout,
+            paths,
+            next: 0,
+        }
+    }
+
+    /// The path the next [`SignalSource::capture`] will read, if any.
+    pub fn next_path(&self) -> Option<&Path> {
+        self.paths.get(self.next).map(PathBuf::as_path)
+    }
+}
+
+impl SignalSource for WavSignalSource {
+    fn describe(&self) -> String {
+        match self.next_path() {
+            Some(p) => format!("wav file {}", p.display()),
+            None => format!("wav files (exhausted after {})", self.paths.len()),
+        }
+    }
+
+    fn capture(&mut self) -> Result<Option<Recording>, SignalError> {
+        let Some(path) = self.paths.get(self.next) else {
+            return Ok(None);
+        };
+        // Advance even on failure so one bad file doesn't wedge the queue.
+        self.next += 1;
+        recording_from_wav(path, &self.layout).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use earsonar_dsp::wav::{write_wav, WavAudio, WavFormat};
+
+    fn layout() -> ChirpLayout {
+        ChirpLayout {
+            sample_rate: 48_000.0,
+            chirp_len: 24,
+            chirp_hop: 240,
+        }
+    }
+
+    fn write_tone(path: &Path, n: usize, rate: u32) {
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 18_000.0 * i as f64 / rate as f64).sin())
+            .collect();
+        write_wav(
+            path,
+            &WavAudio {
+                samples,
+                sample_rate: rate,
+            },
+            WavFormat::Float32,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn wav_round_trips_into_recordings() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("earsonar_signal_wav_a.wav");
+        let b = dir.join("earsonar_signal_wav_b.wav");
+        write_tone(&a, 750, 48_000);
+        write_tone(&b, 480, 48_000);
+
+        let mut src = WavSignalSource::new(layout(), vec![a.clone(), b.clone()]);
+        assert!(src.describe().contains("earsonar_signal_wav_a"));
+        let ra = src.capture().unwrap().unwrap();
+        assert_eq!(ra.n_chirps, 3);
+        assert_eq!(ra.samples.len(), 720); // truncated to whole hops
+        let rb = src.capture().unwrap().unwrap();
+        assert_eq!(rb.n_chirps, 2);
+        assert!(src.capture().unwrap().is_none());
+        assert!(src.describe().contains("exhausted"));
+
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn rate_mismatch_is_rejected() {
+        let path = std::env::temp_dir().join("earsonar_signal_wav_rate.wav");
+        write_tone(&path, 750, 44_100);
+        assert!(matches!(
+            recording_from_wav(&path, &layout()),
+            Err(SignalError::RateMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn short_audio_is_rejected_but_queue_advances() {
+        let dir = std::env::temp_dir();
+        let short = dir.join("earsonar_signal_wav_short.wav");
+        let good = dir.join("earsonar_signal_wav_good.wav");
+        write_tone(&short, 100, 48_000);
+        write_tone(&good, 240, 48_000);
+        let mut src = WavSignalSource::new(layout(), vec![short.clone(), good.clone()]);
+        assert!(matches!(
+            src.capture(),
+            Err(SignalError::BadLayout { .. })
+        ));
+        assert_eq!(src.capture().unwrap().unwrap().n_chirps, 1);
+        let _ = std::fs::remove_file(short);
+        let _ = std::fs::remove_file(good);
+    }
+
+    #[test]
+    fn missing_file_is_a_dsp_error() {
+        assert!(matches!(
+            recording_from_wav("/nonexistent/earsonar.wav", &layout()),
+            Err(SignalError::Dsp(_))
+        ));
+    }
+}

@@ -8,7 +8,7 @@ use crate::cohort::{parallel_map_indexed, Cohort};
 use crate::effusion::MeeState;
 use crate::patient::Patient;
 use crate::scratch::SimScratch;
-use crate::session::{Session, SessionConfig};
+use crate::session::{RecordSession, Session, SessionConfig};
 
 /// How sessions are drawn from each patient's trajectory.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,9 +1,11 @@
-//! Middle-ear-effusion states and their acoustic signatures.
+//! Acoustic signatures of the middle-ear-effusion states.
 //!
-//! The paper grades MEE into four states — "Clear, Purulent, Mucoid and
-//! Serous" (§VI-A) — which form the recovery pipeline Purulent → Mucoid →
-//! Serous → Clear. Each state maps to a fluid [`Medium`] and a calibrated
-//! distribution of absorption-dip parameters; these constants were tuned so
+//! The state enum itself — labels, ordering, calibrated dip-parameter
+//! distributions — lives in `earsonar-signal` ([`MeeState`]), where the
+//! classifier can reach it without linking the simulator. This module
+//! extends it with the *acoustic realization* only synthesis needs: which
+//! fluid [`Medium`] fills the middle ear, and how to draw a concrete
+//! [`EardrumResponse`] for a patient visit. These constants were tuned so
 //! the *end-to-end pipeline* lands near the paper's operating point
 //! (overall accuracy in the low 90s, Clear easiest, Mucoid ↔ Purulent
 //! confusable — see DESIGN.md "Calibration notes").
@@ -11,61 +13,27 @@
 use crate::rng::SimRng;
 use earsonar_acoustics::absorption::EardrumResponse;
 use earsonar_acoustics::medium::Medium;
-use std::fmt;
 
-/// The four middle-ear states EarSonar distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum MeeState {
-    /// Healthy, fluid-free middle ear.
-    Clear,
-    /// Thin, watery effusion (mildest; last stage before recovery).
-    Serous,
-    /// Thick, glue-like effusion.
-    Mucoid,
-    /// Pus-laden effusion (most severe, acute infection).
-    Purulent,
+pub use earsonar_signal::effusion::MeeState;
+
+/// Simulator-side extension of [`MeeState`]: the acoustic realization of
+/// each effusion grade. Import this trait to call
+/// [`medium`](MeeAcoustics::medium) or
+/// [`sample_response`](MeeAcoustics::sample_response) on a state.
+pub trait MeeAcoustics {
+    /// The effusion fluid for this state; `None` for a clear ear.
+    fn medium(self) -> Option<Medium>;
+
+    /// Draws a concrete [`EardrumResponse`] for this state.
+    ///
+    /// `dip_center_hz` is the patient's personal dip-centre frequency (the
+    /// ~18 kHz resonance varies slightly per ear); the per-visit draw adds
+    /// day-to-day physiological variation on top.
+    fn sample_response(self, dip_center_hz: f64, rng: &mut SimRng) -> EardrumResponse;
 }
 
-impl MeeState {
-    /// All states in class-index order (the order used for labels,
-    /// confusion matrices, and reports).
-    pub const ALL: [MeeState; 4] = [
-        MeeState::Clear,
-        MeeState::Serous,
-        MeeState::Mucoid,
-        MeeState::Purulent,
-    ];
-
-    /// Number of distinct states.
-    pub const COUNT: usize = 4;
-
-    /// The class index of this state (0..4) in [`MeeState::ALL`] order.
-    pub fn index(self) -> usize {
-        match self {
-            MeeState::Clear => 0,
-            MeeState::Serous => 1,
-            MeeState::Mucoid => 2,
-            MeeState::Purulent => 3,
-        }
-    }
-
-    /// The state with the given class index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= 4`.
-    pub fn from_index(index: usize) -> MeeState {
-        MeeState::ALL[index]
-    }
-
-    /// Severity rank: 0 for Clear up to 3 for Purulent. Coincides with
-    /// [`MeeState::index`] but is semantically "how sick".
-    pub fn severity(self) -> usize {
-        self.index()
-    }
-
-    /// The effusion fluid for this state; `None` for a clear ear.
-    pub fn medium(self) -> Option<Medium> {
+impl MeeAcoustics for MeeState {
+    fn medium(self) -> Option<Medium> {
         match self {
             MeeState::Clear => None,
             MeeState::Serous => Some(Medium::SEROUS_EFFUSION),
@@ -74,37 +42,7 @@ impl MeeState {
         }
     }
 
-    /// Calibrated absorption-dip parameter distributions for this state:
-    /// `(depth_mean, depth_sd, width_mean_hz, width_sd_hz)`.
-    ///
-    /// Depth separations (Clear ≪ Serous < Mucoid ≈ Purulent) reproduce the
-    /// paper's confusion structure: Clear is easiest, Mucoid and Purulent
-    /// alias into each other (paper §VI-B).
-    pub fn dip_distribution(self) -> (f64, f64, f64, f64) {
-        match self {
-            MeeState::Clear => (0.06, 0.018, 500.0, 45.0),
-            MeeState::Serous => (0.30, 0.022, 560.0, 55.0),
-            MeeState::Mucoid => (0.58, 0.022, 630.0, 55.0),
-            MeeState::Purulent => (0.72, 0.020, 900.0, 70.0),
-        }
-    }
-
-    /// Typical effusion layer thickness range in metres (zero for Clear).
-    pub fn thickness_range(self) -> (f64, f64) {
-        match self {
-            MeeState::Clear => (0.0, 0.0),
-            MeeState::Serous => (0.0008, 0.0018),
-            MeeState::Mucoid => (0.0018, 0.0032),
-            MeeState::Purulent => (0.0028, 0.0045),
-        }
-    }
-
-    /// Draws a concrete [`EardrumResponse`] for this state.
-    ///
-    /// `dip_center_hz` is the patient's personal dip-centre frequency (the
-    /// ~18 kHz resonance varies slightly per ear); the per-visit draw adds
-    /// day-to-day physiological variation on top.
-    pub fn sample_response(self, dip_center_hz: f64, rng: &mut SimRng) -> EardrumResponse {
+    fn sample_response(self, dip_center_hz: f64, rng: &mut SimRng) -> EardrumResponse {
         let (d_mean, d_sd, w_mean, w_sd) = self.dip_distribution();
         let depth = rng.gaussian_clamped(d_mean, d_sd, 0.0, 0.95);
         let width = rng.gaussian_clamped(w_mean, w_sd, 150.0, 1_500.0);
@@ -123,22 +61,6 @@ impl MeeState {
             }
         }
     }
-
-    /// Human-readable label matching the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            MeeState::Clear => "Clear",
-            MeeState::Serous => "Serous",
-            MeeState::Mucoid => "Mucoid",
-            MeeState::Purulent => "Purulent",
-        }
-    }
-}
-
-impl fmt::Display for MeeState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
 }
 
 #[cfg(test)]
@@ -146,68 +68,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn index_round_trips() {
-        for s in MeeState::ALL {
-            assert_eq!(MeeState::from_index(s.index()), s);
-        }
-        assert_eq!(MeeState::COUNT, MeeState::ALL.len());
-    }
-
-    #[test]
-    fn severity_orders_states() {
-        assert!(MeeState::Clear.severity() < MeeState::Serous.severity());
-        assert!(MeeState::Serous.severity() < MeeState::Mucoid.severity());
-        assert!(MeeState::Mucoid.severity() < MeeState::Purulent.severity());
-    }
-
-    #[test]
-    fn dip_depth_grows_with_severity() {
-        let depths: Vec<f64> = MeeState::ALL
-            .iter()
-            .map(|s| s.dip_distribution().0)
-            .collect();
-        for w in depths.windows(2) {
-            assert!(w[0] < w[1]);
-        }
-    }
-
-    #[test]
-    fn mucoid_purulent_gap_is_the_narrowest() {
-        // The calibrated Mucoid-Purulent gap (in sigma units) is the
-        // smallest of the three adjacent-state gaps - the source of the
-        // paper's Mucoid/Purulent aliasing - while Clear separates by a
-        // wide margin.
-        let gap = |a: MeeState, b: MeeState| {
-            let (da, sa, _, _) = a.dip_distribution();
-            let (db, sb, _, _) = b.dip_distribution();
-            (db - da) / (sa + sb)
-        };
-        let g_cs = gap(MeeState::Clear, MeeState::Serous);
-        let g_sm = gap(MeeState::Serous, MeeState::Mucoid);
-        let g_mp = gap(MeeState::Mucoid, MeeState::Purulent);
-        assert!(g_mp < g_sm, "mucoid-purulent must be tightest: {g_mp} vs {g_sm}");
-        assert!(g_mp < g_cs, "mucoid-purulent must be tightest: {g_mp} vs {g_cs}");
-        assert!(g_cs > 5.0, "clear must separate strongly: {g_cs}");
-    }
-
-
-    #[test]
     fn only_clear_lacks_a_medium() {
         assert!(MeeState::Clear.medium().is_none());
         for s in [MeeState::Serous, MeeState::Mucoid, MeeState::Purulent] {
             assert!(s.medium().is_some());
         }
-    }
-
-    #[test]
-    fn thickness_ranges_are_ordered_and_valid() {
-        for s in MeeState::ALL {
-            let (lo, hi) = s.thickness_range();
-            assert!(lo <= hi);
-        }
-        assert!(
-            MeeState::Serous.thickness_range().1 <= MeeState::Purulent.thickness_range().1
-        );
     }
 
     #[test]
@@ -227,11 +92,5 @@ mod tests {
         let ra = MeeState::Mucoid.sample_response(18_000.0, &mut a);
         let rb = MeeState::Mucoid.sample_response(18_000.0, &mut b);
         assert_eq!(ra, rb);
-    }
-
-    #[test]
-    fn display_matches_labels() {
-        assert_eq!(MeeState::Mucoid.to_string(), "Mucoid");
-        assert_eq!(MeeState::Clear.label(), "Clear");
     }
 }

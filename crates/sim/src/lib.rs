@@ -18,7 +18,16 @@
 //!   chirp train propagated over the direct path, canal-wall multipath, and
 //!   the spectrally shaped eardrum echo, plus calibrated ambient noise,
 //! * [`session`] / [`dataset`] — labelled recordings organized the way the
-//!   clinical study collected them.
+//!   clinical study collected them,
+//! * [`source`] — the simulator exposed as an
+//!   [`earsonar_signal::source::SignalSource`], interchangeable with WAV
+//!   files or real capture hardware.
+//!
+//! The hardware-agnostic data types ([`earsonar_signal::recording::Recording`],
+//! [`earsonar_signal::session::Session`], [`MeeState`]) live in the
+//! `earsonar-signal` foundation crate; this crate re-exports them and adds
+//! the simulator-only constructors as extension traits
+//! ([`session::RecordSession`], [`effusion::MeeAcoustics`]).
 //!
 //! Everything is seeded and deterministic: the same seed reproduces the
 //! same cohort, sessions, and samples bit-for-bit.
@@ -27,7 +36,7 @@
 //!
 //! ```
 //! use earsonar_sim::cohort::Cohort;
-//! use earsonar_sim::session::{Session, SessionConfig};
+//! use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 //!
 //! let cohort = Cohort::generate(112, 7);
 //! let patient = &cohort.patients()[0];
@@ -56,6 +65,8 @@ pub mod recorder;
 pub mod rng;
 pub mod scratch;
 pub mod session;
+pub mod source;
 pub mod wearing;
 
-pub use effusion::MeeState;
+pub use effusion::{MeeAcoustics, MeeState};
+pub use session::RecordSession;

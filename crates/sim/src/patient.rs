@@ -9,7 +9,7 @@
 //! Clear.
 
 use crate::ear::EarCanal;
-use crate::effusion::MeeState;
+use crate::effusion::{MeeAcoustics, MeeState};
 use crate::rng::SimRng;
 use earsonar_acoustics::absorption::EardrumResponse;
 

@@ -79,40 +79,7 @@ impl Default for RecorderConfig {
     }
 }
 
-/// A synthesized microphone capture.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Recording {
-    /// The received samples.
-    pub samples: Vec<f64>,
-    /// Sample rate in hertz.
-    pub sample_rate: f64,
-    /// Samples between chirp starts.
-    pub chirp_hop: usize,
-    /// Number of chirps.
-    pub n_chirps: usize,
-    /// Samples per transmitted chirp.
-    pub chirp_len: usize,
-}
-
-impl Recording {
-    /// The sample window belonging to chirp `i` (one full hop, or the
-    /// remainder for the last chirp).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= n_chirps`.
-    pub fn chirp_window(&self, i: usize) -> &[f64] {
-        assert!(i < self.n_chirps, "chirp index out of range");
-        let start = i * self.chirp_hop;
-        let end = (start + self.chirp_hop).min(self.samples.len());
-        &self.samples[start..end]
-    }
-
-    /// Duration of the recording in seconds.
-    pub fn duration_s(&self) -> f64 {
-        self.samples.len() as f64 / self.sample_rate
-    }
-}
+pub use earsonar_signal::recording::Recording;
 
 /// Offset (in samples) of the direct speaker→microphone leak. Non-zero so
 /// the matched-filter peak of the direct path is an interior maximum.
@@ -452,7 +419,7 @@ pub fn time_domain_ffts_per_recording(config: &RecorderConfig, ear: &EarCanal) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::effusion::MeeState;
+    use crate::effusion::{MeeAcoustics, MeeState};
 
     fn test_ear(seed: u64) -> EarCanal {
         let mut rng = SimRng::seed_from_u64(seed);

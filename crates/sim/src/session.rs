@@ -1,47 +1,50 @@
-//! Labelled measurement sessions.
+//! Recording labelled sessions from virtual patients.
 //!
 //! The study collected "acoustic data for 10 s … every time at 8 am and
-//! 6 pm each day" for each participant (paper §VI-A). A [`Session`] is one
-//! such visit: a synthesized recording plus its pneumatic-otoscope ground
-//! truth (here: the patient model's state on that day).
+//! 6 pm each day" for each participant (paper §VI-A). The [`Session`]
+//! struct itself is capture-agnostic and lives in `earsonar-signal`; this
+//! module provides the simulator's way of producing one — synthesizing a
+//! visit's recording for a virtual patient and attaching the patient
+//! model's state on that day as the "pneumatic otoscope" ground truth.
 
-use crate::effusion::MeeState;
 use crate::patient::Patient;
-use crate::recorder::{synthesize_recording_with, Recording};
+use crate::recorder::synthesize_recording_with;
 use crate::rng::SimRng;
 use crate::scratch::SimScratch;
 
 pub use crate::recorder::RecorderConfig as SessionConfig;
+pub use earsonar_signal::session::Session;
 
-/// One labelled recording session.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Session {
-    /// The participant's id.
-    pub patient_id: usize,
-    /// Study day of the visit (0 = admission).
-    pub day: u32,
-    /// The synthesized capture.
-    pub recording: Recording,
-    /// Ground-truth effusion state (the "pneumatic otoscope" label).
-    pub ground_truth: MeeState,
-}
-
-impl Session {
+/// Simulator-side constructors for [`Session`]: import this trait to call
+/// `Session::record(...)` / `Session::record_with(...)`.
+pub trait RecordSession {
     /// Records a session for `patient` on `day` under `config`.
     ///
     /// `visit_seed` distinguishes multiple sessions of the same patient and
     /// day (morning vs evening); the patient's own seed is mixed in so the
     /// same `(patient, day, visit_seed)` always reproduces the capture.
-    pub fn record(patient: &Patient, day: u32, config: &SessionConfig, visit_seed: u64) -> Session {
+    fn record(patient: &Patient, day: u32, config: &SessionConfig, visit_seed: u64) -> Session;
+
+    /// [`RecordSession::record`] with synthesis buffers drawn from a
+    /// caller-owned [`SimScratch`]. Bit-identical to the one-shot entry
+    /// point — the scratch holds no state that influences the samples — so
+    /// a warm scratch can be reused across sessions, days, and patients.
+    fn record_with(
+        patient: &Patient,
+        day: u32,
+        config: &SessionConfig,
+        visit_seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Session;
+}
+
+impl RecordSession for Session {
+    fn record(patient: &Patient, day: u32, config: &SessionConfig, visit_seed: u64) -> Session {
         let mut scratch = SimScratch::new();
         Self::record_with(patient, day, config, visit_seed, &mut scratch)
     }
 
-    /// [`Session::record`] with synthesis buffers drawn from a caller-owned
-    /// [`SimScratch`]. Bit-identical to the one-shot entry point — the
-    /// scratch holds no state that influences the samples — so a warm
-    /// scratch can be reused across sessions, days, and patients.
-    pub fn record_with(
+    fn record_with(
         patient: &Patient,
         day: u32,
         config: &SessionConfig,
@@ -71,6 +74,7 @@ impl Session {
 mod tests {
     use super::*;
     use crate::cohort::Cohort;
+    use crate::effusion::MeeState;
 
     #[test]
     fn session_carries_ground_truth_of_the_day() {

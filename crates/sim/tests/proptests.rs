@@ -7,12 +7,12 @@ use earsonar_dsp::rng::DetRng;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::device::EarphoneModel;
 use earsonar_sim::ear::EarCanal;
-use earsonar_sim::effusion::MeeState;
+use earsonar_sim::effusion::{MeeAcoustics, MeeState};
 use earsonar_sim::motion::Motion;
 use earsonar_sim::noise::{ambient_noise, spl_to_amplitude};
 use earsonar_sim::recorder::{synthesize_recording, RecorderConfig};
 use earsonar_sim::rng::SimRng;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 use earsonar_sim::wearing::WearingAngle;
 
 const CASES: u64 = 24;

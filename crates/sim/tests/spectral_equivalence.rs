@@ -22,7 +22,7 @@ use earsonar_sim::recorder::{
 use earsonar_sim::rng::SimRng;
 use earsonar_sim::scratch::SimScratch;
 use earsonar_sim::wearing::WearingAngle;
-use earsonar_sim::MeeState;
+use earsonar_sim::{MeeAcoustics, MeeState};
 
 const CASES: u64 = 24;
 

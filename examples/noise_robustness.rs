@@ -8,7 +8,7 @@
 use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::dataset::{Dataset, DatasetSpec};
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 
 const ROOMS: [(&str, f64); 4] = [
     ("quiet bedroom", 30.0),

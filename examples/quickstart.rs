@@ -8,7 +8,7 @@
 use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::dataset::{Dataset, DatasetSpec};
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 
 fn main() {
     // 1. A virtual cohort: 16 children followed from admission to recovery.

@@ -3,7 +3,7 @@
 
 use earsonar::{EarSonar, EarSonarConfig, MeeState};
 use earsonar_sim::cohort::Cohort;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 use earsonar_suite::{config, small_dataset};
 
 #[test]

@@ -3,7 +3,7 @@
 
 use earsonar::pipeline::FrontEnd;
 use earsonar_sim::cohort::Cohort;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 use earsonar_sim::MeeState;
 use earsonar_suite::config;
 

@@ -9,7 +9,7 @@ use earsonar::EarSonarConfig;
 use earsonar_dsp::rng::DetRng;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::motion::Motion;
-use earsonar_sim::session::{Session, SessionConfig};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
 use earsonar_sim::wearing::WearingAngle;
 
 const MOTIONS: [Motion; 4] = [

@@ -7,7 +7,7 @@ use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_acoustics::chirp::FmcwChirp;
 use earsonar_sim::cohort::Cohort;
 use earsonar_sim::dataset::{patient_sessions, DatasetSpec};
-use earsonar_sim::session::SessionConfig;
+use earsonar_sim::session::{RecordSession, SessionConfig};
 
 fn config_44100() -> (EarSonarConfig, SessionConfig) {
     let fs = 44_100.0;
