@@ -6,7 +6,7 @@
 //! inference) is the shape under test. `benches/table2_latency.rs` holds
 //! the Criterion version with proper statistics.
 
-use earsonar::power::measure_stage_latency;
+use earsonar_bench::power::measure_stage_latency;
 use earsonar::report::{num, Table};
 use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_bench::standard_dataset;

@@ -2,11 +2,11 @@
 //!
 //! The paper measures ~2100 / 2120 / 2243 mW on Huawei / Galaxy / MI 10.
 //! We cannot instrument a handset power rail, so this binary evaluates the
-//! documented operation-energy model (`earsonar::power`): platform base
+//! documented operation-energy model (`earsonar_bench::power`): platform base
 //! draw + audio chain + CPU duty cycle from the *measured* pipeline
 //! latency. The substitution is recorded in DESIGN.md.
 
-use earsonar::power::{measure_stage_latency, paper_power_table};
+use earsonar_bench::power::{measure_stage_latency, paper_power_table};
 use earsonar::report::{num, Table};
 use earsonar::{EarSonar, EarSonarConfig};
 use earsonar_bench::standard_dataset;

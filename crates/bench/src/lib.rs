@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod power;
 pub mod timing;
 
 use earsonar::eval::{loocv, ExtractedDataset};

@@ -7,10 +7,15 @@
 //! model handset power with an operation-energy model — we cannot
 //! instrument a phone's power rail, so the model documents its assumptions
 //! and reproduces the relative ordering (see DESIGN.md).
+//!
+//! This module lives in the benchmark harness, not the detection core:
+//! wall-clock reads are banned from the result-producing crates (see
+//! `xtask lint`'s `wall-clock` rule), and latency numbers are a benchmark
+//! artifact, not a detection output.
 
-use crate::detect::EarSonarDetector;
-use crate::pipeline::FrontEnd;
-use crate::preprocess::Preprocessor;
+use earsonar::detect::EarSonarDetector;
+use earsonar::pipeline::FrontEnd;
+use earsonar::preprocess::Preprocessor;
 use earsonar_signal::recording::Recording;
 use std::time::Instant;
 
@@ -38,12 +43,13 @@ impl StageLatency {
 /// # Errors
 ///
 /// Propagates any pipeline error from the measured stages.
+#[allow(clippy::disallowed_methods)] // timing is this module's purpose
 pub fn measure_stage_latency(
     front_end: &FrontEnd,
     detector: &EarSonarDetector,
     recording: &Recording,
     repeats: usize,
-) -> Result<StageLatency, crate::error::EarSonarError> {
+) -> Result<StageLatency, earsonar::error::EarSonarError> {
     let repeats = repeats.max(1);
     let pre = Preprocessor::new(front_end.config())?;
 
@@ -138,7 +144,7 @@ pub fn paper_power_table(latency: &StageLatency, recording_ms: f64) -> Vec<(&'st
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EarSonarConfig;
+    use earsonar::config::EarSonarConfig;
     use earsonar_sim::cohort::Cohort;
     use earsonar_sim::dataset::{Dataset, DatasetSpec};
 
@@ -190,7 +196,7 @@ mod tests {
     fn measured_latency_is_positive_and_finite() {
         let ds = Dataset::build(&Cohort::generate(4, 31), &DatasetSpec::default());
         let cfg = EarSonarConfig::default();
-        let system = crate::pipeline::EarSonar::fit(&ds.sessions, &cfg).unwrap();
+        let system = earsonar::pipeline::EarSonar::fit(&ds.sessions, &cfg).unwrap();
         let lat = measure_stage_latency(
             system.front_end(),
             system.detector(),

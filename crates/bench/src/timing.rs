@@ -77,6 +77,7 @@ impl Bencher {
     /// Times `f`, returning the calibrated measurement. The closure's
     /// return value is passed through [`black_box`] so the optimizer cannot
     /// discard the computation.
+    #[allow(clippy::disallowed_methods)] // timing is this type's purpose
     pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
         // Warm-up and single-shot estimate.
         let start = Instant::now();

@@ -64,6 +64,7 @@ where
             })
             .collect();
         for h in handles {
+            // lint: allow(panic) a panicked worker must propagate — swallowing it would silently drop results
             for (i, r) in h.join().expect("batch worker panicked") {
                 slots[i] = Some(r);
             }
@@ -71,6 +72,7 @@ where
     });
     slots
         .into_iter()
+        // lint: allow(panic) the atomic counter hands each index to exactly one worker, so every slot is filled
         .map(|s| s.expect("every index was claimed by exactly one worker"))
         .collect()
 }

@@ -29,7 +29,6 @@
 //! * [`baseline`] — a Chan-et-al-style comparator without fine-grained
 //!   segmentation (§VII),
 //! * [`eval`] — leave-one-participant-out evaluation (§VI-A),
-//! * [`power`] — the latency/energy model behind Tables II and III,
 //! * [`screening`] — the home-monitoring layer (binary verdicts, trend
 //!   tracking) the paper motivates in §I,
 //! * [`model_io`] — save/load trained systems (train once, ship to
@@ -75,7 +74,6 @@ pub mod event;
 pub mod features;
 pub mod model_io;
 pub mod pipeline;
-pub mod power;
 pub mod preprocess;
 pub mod report;
 pub mod screening;

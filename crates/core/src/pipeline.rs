@@ -185,6 +185,7 @@ impl FrontEnd {
     /// for the finalize stages. Failures are recorded in the accumulator's
     /// [`Diagnostics`], never raised: a bad chirp is data loss, not an
     /// error.
+    // lint: hot-path
     pub(crate) fn push_window(
         &self,
         scratch: &mut DspScratch,

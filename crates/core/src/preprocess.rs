@@ -40,6 +40,7 @@ impl Preprocessor {
     /// # Errors
     ///
     /// Returns [`EarSonarError::Dsp`] for an empty signal.
+    // lint: hot-path
     pub fn run(&self, samples: &[f64]) -> Result<Vec<f64>, EarSonarError> {
         Ok(filtfilt(&self.filter, samples, self.pad)?)
     }

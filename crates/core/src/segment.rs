@@ -32,12 +32,23 @@ pub fn parity_decompose(x: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
 }
 
 /// Parity energies `(E_even, E_odd)` of `x` about fold `m` — paper Eq. 9.
+///
+/// Computes the decomposition inline (same accumulation order as summing
+/// over [`parity_decompose`]'s outputs) without materializing it — this
+/// runs once per symmetry candidate, inside the segmentation hot loop.
+// lint: hot-path
 pub fn parity_energies(x: &[f64], m: usize) -> (f64, f64) {
-    let (e, o) = parity_decompose(x, m);
-    (
-        e.iter().map(|v| v * v).sum(),
-        o.iter().map(|v| v * v).sum(),
-    )
+    let n = x.len();
+    let mut e_even = 0.0f64;
+    let mut e_odd = 0.0f64;
+    for i in 0..n {
+        let reflected = if m >= i && m - i < n { x[m - i] } else { 0.0 };
+        let even = 0.5 * (x[i] + reflected);
+        let odd = 0.5 * (x[i] - reflected);
+        e_even += even * even;
+        e_odd += odd * odd;
+    }
+    (e_even, e_odd)
 }
 
 /// A candidate symmetry point found on the auto-convolution.
@@ -185,6 +196,7 @@ pub fn segment_eardrum_echo(
 /// # Errors
 ///
 /// Same conditions as [`segment_eardrum_echo`].
+// lint: hot-path
 pub fn segment_with_anchor(
     chirp_window: &[f64],
     direct_center: usize,

@@ -80,6 +80,7 @@ impl<'a> StreamingFrontEnd<'a> {
     /// partially received window (mixing [`StreamingFrontEnd::push_samples`]
     /// chunks with whole-window pushes at a misaligned point would silently
     /// shear every later chirp off the transmit grid).
+    // lint: hot-path
     pub fn push_chirp(&mut self, window: &[f64]) -> Result<ChirpOutcome, EarSonarError> {
         if !self.buffer.is_empty() {
             return Err(EarSonarError::BadRecording {
@@ -103,6 +104,7 @@ impl<'a> StreamingFrontEnd<'a> {
     /// Currently infallible in practice (per-chirp failures are recorded
     /// as diagnostics, not raised); the `Result` keeps room for backends
     /// that validate sample chunks.
+    // lint: hot-path
     pub fn push_samples(&mut self, chunk: &[f64]) -> Result<usize, EarSonarError> {
         self.buffer.extend_from_slice(chunk);
         let mut completed = 0;

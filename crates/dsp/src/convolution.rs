@@ -50,6 +50,7 @@ pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// [`convolve_fft`] writing into a caller-owned buffer, with plans and
 /// intermediates drawn from `scratch` — allocation-free once the workspace
 /// is warm for this problem size.
+// lint: hot-path
 pub fn convolve_fft_with(scratch: &mut DspScratch, a: &[f64], b: &[f64], out: &mut Vec<f64>) {
     out.clear();
     if a.is_empty() || b.is_empty() {
@@ -57,21 +58,20 @@ pub fn convolve_fft_with(scratch: &mut DspScratch, a: &[f64], b: &[f64], out: &m
     }
     let out_len = a.len() + b.len() - 1;
     let n = next_pow2(out_len);
-    let plan = scratch
-        .real_plan(n)
-        .expect("next_pow2 yields a valid plan size");
+    // lint: allow(panic) next_pow2 always yields a nonzero power of two, the only sizes a plan rejects
+    let plan = scratch.real_plan(n).expect("valid plan size");
     let mut work = scratch.take_complex();
     let mut fa = scratch.take_complex();
     let mut fb = scratch.take_complex();
-    plan.forward_into(a, &mut work, &mut fa)
-        .expect("input fits the padded plan");
-    plan.forward_into(b, &mut work, &mut fb)
-        .expect("input fits the padded plan");
+    // lint: allow(panic) a.len() <= out_len <= n, so the input fits the padded plan
+    plan.forward_into(a, &mut work, &mut fa).expect("fits plan");
+    // lint: allow(panic) b.len() <= out_len <= n, same bound as the line above
+    plan.forward_into(b, &mut work, &mut fb).expect("fits plan");
     for (x, &y) in fa.iter_mut().zip(fb.iter()) {
         *x *= y;
     }
-    plan.inverse_into(&fa, &mut work, out)
-        .expect("product spectrum matches the plan size");
+    // lint: allow(panic) forward_into sized fa to exactly the planned n
+    plan.inverse_into(&fa, &mut work, out).expect("planned size");
     out.truncate(out_len);
     scratch.put_complex(fb);
     scratch.put_complex(fa);
@@ -94,6 +94,7 @@ pub fn autoconvolve(x: &[f64]) -> Vec<f64> {
 /// [`autoconvolve`] writing into a caller-owned buffer via `scratch`.
 /// Short inputs use the direct algorithm (still allocation-free: the output
 /// buffer is reused).
+// lint: hot-path
 pub fn autoconvolve_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<f64>) {
     if x.len() < 64 {
         out.clear();
@@ -115,6 +116,7 @@ pub fn autoconvolve_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<f64>
 }
 
 /// [`autoconvolve_argmax`] with intermediates drawn from `scratch`.
+// lint: hot-path
 pub fn autoconvolve_argmax_with(scratch: &mut DspScratch, x: &[f64]) -> Option<usize> {
     let mut ac = scratch.take_real();
     autoconvolve_with(scratch, x, &mut ac);

@@ -37,11 +37,13 @@ pub fn is_pow2(n: usize) -> bool {
 /// Callers that transform the same size repeatedly should keep a plan (or
 /// a [`crate::plan::DspScratch`]) instead — that is where the planning
 /// cost amortizes away.
+// lint: hot-path
 fn fft_in_place_dir(data: &mut [Complex64], inverse: bool) {
     debug_assert!(is_pow2(data.len()));
+    // lint: allow(panic) every caller validates or pads to a power of two; a non-pow2 length is a bug worth failing loudly on
     let plan = FftPlan::new(data.len()).expect("power-of-two FFT length");
-    plan.execute_in_place(data, inverse)
-        .expect("buffer length matches the plan it was built from");
+    // lint: allow(panic) the plan was built for data.len() two lines up, so the sizes cannot disagree
+    plan.execute_in_place(data, inverse).expect("planned size");
 }
 
 /// Computes the in-place forward FFT of a power-of-two-length buffer.
@@ -50,6 +52,7 @@ fn fft_in_place_dir(data: &mut [Complex64], inverse: bool) {
 ///
 /// Returns [`DspError::InvalidLength`] if the length is not a power of two,
 /// and [`DspError::EmptyInput`] on an empty buffer.
+// lint: hot-path
 pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), DspError> {
     if data.is_empty() {
         return Err(DspError::EmptyInput);
@@ -71,6 +74,7 @@ pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), DspError> {
 /// # Errors
 ///
 /// Same conditions as [`fft_in_place`].
+// lint: hot-path
 pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), DspError> {
     if data.is_empty() {
         return Err(DspError::EmptyInput);

@@ -20,23 +20,21 @@ pub fn analytic_signal(x: &[f64]) -> Vec<Complex64> {
 
 /// [`analytic_signal`] writing into a caller-owned buffer, with plans and
 /// intermediates drawn from `scratch` — allocation-free once warm.
+// lint: hot-path
 pub fn analytic_signal_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<Complex64>) {
     out.clear();
     if x.is_empty() {
         return;
     }
     let n = next_pow2(x.len());
-    let rplan = scratch
-        .real_plan(n)
-        .expect("next_pow2 yields a valid plan size");
-    let cplan = scratch
-        .plan(n)
-        .expect("next_pow2 yields a valid plan size");
+    // lint: allow(panic) next_pow2 always yields a nonzero power of two, which a plan never rejects
+    let rplan = scratch.real_plan(n).expect("valid plan size");
+    // lint: allow(panic) same power-of-two n as the real plan above
+    let cplan = scratch.plan(n).expect("valid plan size");
     let mut work = scratch.take_complex();
     let mut spec = scratch.take_complex();
-    rplan
-        .forward_into(x, &mut work, &mut spec)
-        .expect("input fits the padded plan");
+    // lint: allow(panic) x.len() <= n by construction of n, so the input fits the padded plan
+    rplan.forward_into(x, &mut work, &mut spec).expect("fits plan");
     // One-sided doubling: keep DC and Nyquist, double positives, zero
     // negatives.
     let half = n / 2;
@@ -49,9 +47,8 @@ pub fn analytic_signal_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<C
             *z = Complex64::ZERO;
         }
     }
-    cplan
-        .inverse(&mut spec)
-        .expect("spectrum length matches the plan");
+    // lint: allow(panic) forward_into sized spec to exactly the planned n
+    cplan.inverse(&mut spec).expect("planned size");
     out.extend_from_slice(&spec[..x.len()]);
     scratch.put_complex(spec);
     scratch.put_complex(work);
@@ -75,6 +72,7 @@ pub fn envelope(x: &[f64]) -> Vec<f64> {
 }
 
 /// [`envelope`] writing into a caller-owned buffer via `scratch`.
+// lint: hot-path
 pub fn envelope_with(scratch: &mut DspScratch, x: &[f64], out: &mut Vec<f64>) {
     let mut analytic = scratch.take_complex();
     analytic_signal_with(scratch, x, &mut analytic);

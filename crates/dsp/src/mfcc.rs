@@ -143,6 +143,7 @@ impl MfccExtractor {
     /// # Errors
     ///
     /// Same conditions as [`MfccExtractor::extract`].
+    // lint: hot-path
     pub fn extract_into(
         &self,
         scratch: &mut DspScratch,

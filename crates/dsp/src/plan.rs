@@ -36,7 +36,7 @@
 use crate::complex::Complex64;
 use crate::error::DspError;
 use crate::fft::is_pow2;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::f64::consts::PI;
 use std::rc::Rc;
 
@@ -135,6 +135,7 @@ impl FftPlan {
         self.execute_in_place(data, true)
     }
 
+    // lint: hot-path
     fn run(&self, data: &mut [Complex64], inverse: bool) {
         let n = self.n;
         debug_assert_eq!(data.len(), n);
@@ -221,6 +222,7 @@ impl RealFftPlan {
     ///
     /// Returns [`DspError::InvalidLength`] if `input` is longer than the
     /// planned size.
+    // lint: hot-path
     pub fn forward_into(
         &self,
         input: &[f64],
@@ -282,6 +284,7 @@ impl RealFftPlan {
     ///
     /// Returns [`DspError::InvalidLength`] if `spectrum.len()` differs from
     /// the planned size.
+    // lint: hot-path
     pub fn inverse_into(
         &self,
         spectrum: &[Complex64],
@@ -332,8 +335,8 @@ impl RealFftPlan {
 /// calls; creation itself is cheap (empty maps and pools).
 #[derive(Debug, Default)]
 pub struct DspScratch {
-    plans: HashMap<usize, Rc<FftPlan>>,
-    real_plans: HashMap<usize, Rc<RealFftPlan>>,
+    plans: BTreeMap<usize, Rc<FftPlan>>,
+    real_plans: BTreeMap<usize, Rc<RealFftPlan>>,
     complex_pool: Vec<Vec<Complex64>>,
     real_pool: Vec<Vec<f64>>,
 }

@@ -163,7 +163,13 @@ pub fn welch(
         count += 1;
         start += hop;
     }
-    let mut result = acc.expect("at least one segment fits");
+    let Some(mut result) = acc else {
+        // Unreachable: signal.len() >= segment_len admits the first window.
+        return Err(DspError::InvalidLength {
+            expected: "at least one full segment",
+            actual: signal.len(),
+        });
+    };
     for p in &mut result.power {
         *p /= count as f64;
     }

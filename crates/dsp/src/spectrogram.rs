@@ -51,6 +51,7 @@ impl Spectrogram {
     /// # Errors
     ///
     /// Same conditions as [`Spectrogram::compute`].
+    // lint: hot-path
     pub fn compute_with(
         scratch: &mut DspScratch,
         signal: &[f64],
@@ -86,7 +87,9 @@ impl Spectrogram {
         let mut frame = scratch.take_real();
         let mut work = scratch.take_complex();
         let mut spec = scratch.take_complex();
+        // lint: allow(hot-path-alloc) the magnitude rows are the returned value's owned storage, not a reusable intermediate
         let mut magnitudes = Vec::new();
+        // lint: allow(hot-path-alloc) owned output axis, same as the magnitude rows
         let mut times = Vec::new();
         let mut start = 0usize;
         let mut n_bins = 0usize;
@@ -96,6 +99,7 @@ impl Spectrogram {
             window.apply_in_place(&mut frame);
             plan.forward_into(&frame, &mut work, &mut spec)?;
             n_bins = spec.len() / 2 + 1;
+            // lint: allow(hot-path-alloc) each row is handed to the caller inside the returned spectrogram
             magnitudes.push(spec[..n_bins].iter().map(|z| z.norm()).collect());
             times.push((start + frame_len / 2) as f64 / fs);
             start += hop;
@@ -106,6 +110,7 @@ impl Spectrogram {
         let actual_fft = (n_bins - 1) * 2;
         let frequencies = (0..n_bins)
             .map(|k| k as f64 * fs / actual_fft as f64)
+            // lint: allow(hot-path-alloc) owned output axis, built once per spectrogram
             .collect();
         Ok(Spectrogram {
             magnitudes,

@@ -113,7 +113,7 @@ impl AmplitudeSpectrum {
             return self.clone();
         }
         let f_lo = self.frequencies[0];
-        let f_hi = *self.frequencies.last().expect("non-empty");
+        let f_hi = self.frequencies.last().copied().unwrap_or(f_lo);
         let xs: Vec<f64> = (0..n)
             .map(|i| f_lo + (f_hi - f_lo) * i as f64 / (n - 1) as f64)
             .collect();

@@ -133,20 +133,27 @@ pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
     let mut data: Option<&[u8]> = None;
     while pos + 8 <= bytes.len() {
         let id = &bytes[pos..pos + 4];
-        let size = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"))
-            as usize;
+        // The loop guard makes pos + 8 in-bounds, so index the four size
+        // bytes directly instead of try_into().
+        let size = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]) as usize;
         let body_start = pos + 8;
         let body_end = (body_start + size).min(bytes.len());
         match id {
-            b"fmt " if size >= 16 => {
+            b"fmt " if size >= 16 && body_start + 16 <= bytes.len() => {
                 let tag = u16::from_le_bytes([bytes[body_start], bytes[body_start + 1]]);
                 let channels =
                     u16::from_le_bytes([bytes[body_start + 2], bytes[body_start + 3]]);
-                let rate = u32::from_le_bytes(
-                    bytes[body_start + 4..body_start + 8]
-                        .try_into()
-                        .expect("4 bytes"),
-                );
+                let rate = u32::from_le_bytes([
+                    bytes[body_start + 4],
+                    bytes[body_start + 5],
+                    bytes[body_start + 6],
+                    bytes[body_start + 7],
+                ]);
                 let bits =
                     u16::from_le_bytes([bytes[body_start + 14], bytes[body_start + 15]]);
                 fmt = Some((tag, channels, rate, bits));

@@ -67,7 +67,10 @@ impl KMeans {
                 best = Some(run);
             }
         }
-        Ok(best.expect("n_init >= 1"))
+        best.ok_or(MlError::InvalidParameter {
+            name: "n_init",
+            constraint: "must be positive",
+        })
     }
 
     /// Fits k-means starting from caller-supplied initial centroids (the
@@ -257,14 +260,14 @@ fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut DetRng) -> Vec<Vec<f64>>
             }
             chosen
         };
-        centroids.push(data[next].clone());
-        let newest = centroids.last().expect("just pushed");
+        let newest = data[next].clone();
         for (di, x) in d2.iter_mut().zip(data) {
-            let d = squared_euclidean(x, newest);
+            let d = squared_euclidean(x, &newest);
             if d < *di {
                 *di = d;
             }
         }
+        centroids.push(newest);
     }
     centroids
 }

@@ -99,11 +99,11 @@ impl KnnClassifier {
                 closest[l] = d;
             }
         }
-        let best_count = *votes.iter().max().expect("n_classes >= 1");
+        let best_count = votes.iter().max().copied().unwrap_or(0);
         Ok((0..self.n_classes)
             .filter(|&c| votes[c] == best_count)
             .min_by(|&a, &b| closest[a].total_cmp(&closest[b]))
-            .expect("at least one class has max votes"))
+            .unwrap_or(0))
     }
 
     /// Predicts a batch of samples.

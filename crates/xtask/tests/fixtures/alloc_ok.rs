@@ -1,0 +1,12 @@
+// Fixture: a hot-path function using only non-allocating constructs.
+
+// lint: hot-path
+pub fn hot_in_place(out: &mut [f64], scratch: &mut [f64]) {
+    for (o, s) in out.iter_mut().zip(scratch.iter()) {
+        *o += *s;
+    }
+}
+
+pub fn cold_allocates_freely() -> Vec<f64> {
+    (0..8).map(|i| i as f64).collect()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a library root with no `#![forbid(unsafe_code)]` header.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,7 @@
+//! Fixture: a library root carrying the required header.
+
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,3 @@
+//! Fixture protected crate.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,12 @@
+// Fixture: unordered collections in a result-producing crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn count(keys: &[u32]) -> usize {
+    let set: HashSet<u32> = keys.iter().copied().collect();
+    let mut map: HashMap<u32, usize> = HashMap::new();
+    for k in keys {
+        *map.entry(*k).or_insert(0) += 1;
+    }
+    set.len() + map.len()
+}

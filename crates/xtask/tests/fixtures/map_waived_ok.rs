@@ -1,0 +1,10 @@
+// Fixture: a HashMap use waived with a reason — clean, and the waiver
+// counts as used.
+
+// lint: allow(nondeterministic-map) interned by insertion order, never iterated
+use std::collections::HashMap;
+
+// lint: allow(nondeterministic-map) point lookup only — iteration order never observed
+pub fn lookup(map: &HashMap<u32, f64>, k: u32) -> f64 {
+    map.get(&k).copied().unwrap_or(0.0)
+}

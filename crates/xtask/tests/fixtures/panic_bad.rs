@@ -1,0 +1,20 @@
+// Fixture: every banned panic construct, in plain (non-test) code.
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("always some")
+}
+
+pub fn third() {
+    panic!("boom");
+}
+
+pub fn fourth() {
+    todo!("later");
+}
+
+pub fn fifth() {
+    unimplemented!("never");
+}

@@ -1,0 +1,27 @@
+//! Fixture: panic-free code. Mentions of unwrap() in comments, doc
+//! examples, and strings must not fire, and `#[cfg(test)]` code is exempt.
+
+/// Returns the value or a default.
+///
+/// ```
+/// let v = source.unwrap(); // doc example — exempt
+/// ```
+pub fn safe(x: Option<u32>) -> u32 {
+    // a comment saying x.unwrap() is fine
+    let msg = "strings may say panic!(...) freely";
+    let _ = msg;
+    x.unwrap_or(0)
+}
+
+pub fn fallible(x: Option<u32>) -> Result<u32, &'static str> {
+    x.ok_or("missing")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: ambient randomness outside a DetRng module.
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads in a crate whose results must be replayable.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,6 @@
+// Fixture: a waiver without a reason is rejected AND waives nothing —
+// both the directive finding and the underlying violation must fire.
+
+pub fn sneaky(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(panic)
+}

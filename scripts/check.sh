@@ -6,17 +6,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> layering guard: detection core must not depend on the simulator"
-# The hardware-agnostic crates (earsonar, earsonar-ml) consume recordings
-# through earsonar-signal; the simulator is one producer among several and
-# must only ever appear as a dev-dependency. `-e normal` excludes dev-deps.
-for crate in earsonar earsonar-ml earsonar-signal; do
-  if cargo tree -p "$crate" -e normal | grep -q "earsonar-sim"; then
-    echo "LAYERING VIOLATION: $crate depends on earsonar-sim" >&2
-    cargo tree -p "$crate" -e normal >&2
-    exit 1
-  fi
-done
+echo "==> xtask lint: workspace invariants (panic-freedom, allocation"
+echo "    discipline, determinism, layering, header hygiene)"
+# Parses manifests and scans sources directly, so it runs before anything
+# else builds. See DESIGN.md "Static analysis & invariants".
+cargo run -p xtask -- lint
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
