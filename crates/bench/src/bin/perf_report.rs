@@ -300,6 +300,39 @@ fn main() {
         );
     }
 
+    // ---- PR5: quality-gate overhead on clean input ----
+
+    println!("\n== quality gate: gated vs ungated front end (clean input) ==");
+    let mut cfg_off = EarSonarConfig::default();
+    cfg_off.quality.enabled = false;
+    let fe_ungated = FrontEnd::new(&cfg_off).expect("ungated front end");
+
+    // A clean session must pass the gate untouched: zero rejections and
+    // bit-identical features against the ungated run, checked before any
+    // timing so the overhead number describes pure measurement cost.
+    for rec in &recordings {
+        let gated = front_end.process(rec).expect("gated");
+        let ungated = fe_ungated.process(rec).expect("ungated");
+        assert_eq!(gated.quality.rejections.total(), 0, "clean input rejected");
+        assert_eq!(gated.features, ungated.features, "gate perturbed features");
+    }
+    println!("bit-identity: gated == ungated on {} clean recordings", recordings.len());
+
+    let gated_m = bencher.report("front_end_gated/8", || {
+        recordings
+            .iter()
+            .map(|r| front_end.process(r).map(|p| p.features.len()))
+            .collect::<Vec<_>>()
+    });
+    let ungated_m = bencher.report("front_end_ungated/8", || {
+        recordings
+            .iter()
+            .map(|r| fe_ungated.process(r).map(|p| p.features.len()))
+            .collect::<Vec<_>>()
+    });
+    let gate_overhead_pct = (gated_m.ns_per_iter / ungated_m.ns_per_iter - 1.0) * 100.0;
+    println!("quality-gate overhead: {gate_overhead_pct:+.1}% on clean input");
+
     // Hand-rolled JSON: the dependency budget has no serde.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"report\": \"BENCH_pr1\",");
@@ -384,5 +417,32 @@ fn main() {
     json2.push_str("}\n");
     std::fs::write("BENCH_pr2.json", &json2).expect("write BENCH_pr2.json");
 
-    println!("\nwrote BENCH_pr1.json and BENCH_pr2.json");
+    let mut json5 = String::from("{\n");
+    let _ = writeln!(json5, "  \"report\": \"BENCH_pr5\",");
+    let _ = writeln!(json5, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json5, "  \"cores\": {cores},");
+    let _ = writeln!(json5, "  \"quality_gate\": {{");
+    let _ = writeln!(json5, "    \"recordings\": {},", recordings.len());
+    let _ = writeln!(
+        json5,
+        "    \"gated_ns\": {},",
+        json_num(gated_m.ns_per_iter)
+    );
+    let _ = writeln!(
+        json5,
+        "    \"ungated_ns\": {},",
+        json_num(ungated_m.ns_per_iter)
+    );
+    let _ = writeln!(
+        json5,
+        "    \"overhead_pct\": {},",
+        json_num(gate_overhead_pct)
+    );
+    let _ = writeln!(json5, "    \"clean_rejections\": 0,");
+    let _ = writeln!(json5, "    \"bit_identical\": true");
+    let _ = writeln!(json5, "  }}");
+    json5.push_str("}\n");
+    std::fs::write("BENCH_pr5.json", &json5).expect("write BENCH_pr5.json");
+
+    println!("\nwrote BENCH_pr1.json, BENCH_pr2.json, and BENCH_pr5.json");
 }

@@ -10,11 +10,17 @@
 //! `simulate` writes each session as a float32 WAV plus a `manifest.tsv`
 //! with ground truth; `screen` reads WAVs back through the full pipeline.
 
+use earsonar::diagnostics::CaptureDiagnostics;
 use earsonar::eval::{loocv, ExtractedDataset};
 use earsonar::model_io::{load_model, save_model};
+use earsonar::quality::SessionQuality;
 use earsonar::report::{pct, Table};
+use earsonar::screening::{
+    InconclusiveReason, InconclusiveReport, RetryPolicy, ScreeningOutcome, ScreeningReport,
+    ScreeningVerdict,
+};
 use earsonar::streaming::StreamingFrontEnd;
-use earsonar::{EarSonar, EarSonarConfig, MeeState};
+use earsonar::{EarSonar, EarSonarConfig, EarSonarError, MeeState};
 use earsonar_dsp::wav::{write_wav, WavAudio, WavFormat};
 use earsonar_signal::recording::{ChirpLayout, Recording};
 use earsonar_signal::source::SignalSource;
@@ -32,19 +38,25 @@ USAGE:
       Simulate a cohort's sessions as float32 WAV files + manifest.tsv.
   earsonar train    [--patients N] [--seed S] --model FILE
       Train the pipeline on a simulated cohort and save the model.
-  earsonar screen   --model FILE [--min-chirps N] WAV [WAV...]
+  earsonar screen   --model FILE [--min-chirps N] [--quorum N] WAV [WAV...]
       Screen recordings chirp by chirp through the streaming front end,
-      reporting per-chirp progress; with --min-chirps N, stop pushing as
-      soon as N chirps have produced usable echoes.
-  earsonar screen-wav --model FILE WAV [WAV...]
+      reporting per-chirp progress and a signal-quality verdict; with
+      --min-chirps N, stop pushing as soon as N chirps have produced
+      usable echoes. --quorum N sets how many quality-accepted,
+      echo-yielding chirps a recording needs for a conclusive verdict.
+  earsonar screen-wav --model FILE [--quorum N] WAV [WAV...]
       Screen a WAV queue through the SignalSource capture interface (the
-      same code path a live capture backend would use).
+      same code path a live capture backend would use), with a per-cause
+      summary of skipped captures at the end.
   earsonar eval     [--patients N] [--seed S]
       Leave-one-participant-out evaluation on a simulated cohort.
   earsonar inspect  --model FILE WAV [WAV...]
       Show what the pipeline sees inside recordings (IR, spectrum, dip).
 
-Defaults: --patients 16, --seed 7.";
+Defaults: --patients 16, --seed 7, --quorum 12.
+
+Exit codes: 0 all conclusive, 1 error, 2 at least one recording was
+INCONCLUSIVE (too little usable signal for a trustworthy verdict).";
 
 struct Args {
     patients: usize,
@@ -52,7 +64,21 @@ struct Args {
     out: Option<PathBuf>,
     model: Option<PathBuf>,
     min_chirps: Option<usize>,
+    quorum: Option<usize>,
     files: Vec<PathBuf>,
+}
+
+impl Args {
+    /// The screening policy these arguments describe. `max_attempts` is 1:
+    /// a WAV queue holds distinct recordings, so "retry" would conflate
+    /// one file's verdict with the next file's samples.
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            min_accepted_chirps: self.quorum.unwrap_or(RetryPolicy::default().min_accepted_chirps),
+            ..RetryPolicy::default()
+        }
+    }
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -64,6 +90,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         out: None,
         model: None,
         min_chirps: None,
+        quorum: None,
         files: Vec::new(),
     };
     let mut rest: Vec<String> = argv.collect();
@@ -100,6 +127,14 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     rest.get(i)
                         .and_then(|v| v.parse().ok())
                         .ok_or("--min-chirps needs a number")?,
+                );
+            }
+            "--quorum" => {
+                i += 1;
+                args.quorum = Some(
+                    rest.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--quorum needs a number")?,
                 );
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -207,14 +242,54 @@ fn verdict_line(state: MeeState) -> String {
     }
 }
 
+/// One-line signal-quality summary for a screened recording.
+fn quality_line(q: &SessionQuality) -> String {
+    let causes = q.rejections.summary();
+    format!(
+        "{}/{} chirps accepted{}, mean quality {:.2}, confidence {:.2}",
+        q.chirps_accepted,
+        q.chirps_pushed,
+        if causes.is_empty() {
+            String::new()
+        } else {
+            format!(" ({causes} rejected)")
+        },
+        q.mean_quality,
+        q.confidence()
+    )
+}
+
+/// Result line for a conclusive or inconclusive screening outcome.
+fn outcome_line(outcome: &ScreeningOutcome) -> String {
+    match outcome {
+        ScreeningOutcome::Conclusive(r) => {
+            format!("{} (confidence {:.2})", verdict_line(r.state), r.confidence)
+        }
+        ScreeningOutcome::Inconclusive(r) => {
+            let why = match r.reason {
+                InconclusiveReason::QuorumNotMet { needed, best_usable } => {
+                    format!("only {best_usable} of the {needed} required usable chirps")
+                }
+                InconclusiveReason::SourceExhausted => "no capture available".to_string(),
+                InconclusiveReason::NoUsableEcho => "no usable eardrum echo".to_string(),
+                InconclusiveReason::LowConfidence => "signal quality too low".to_string(),
+            };
+            format!("INCONCLUSIVE ({why}) — re-measure in quieter conditions")
+        }
+    }
+}
+
 /// Pushes one recording chirp by chirp through a streaming front end,
-/// printing progress, and returns the verdict. With `min_chirps`, stops
-/// pushing as soon as that many chirps yielded usable echoes.
+/// printing progress, and returns the quality-gated screening outcome.
+/// With `min_chirps`, stops pushing as soon as that many chirps yielded
+/// usable echoes. Mirrors `earsonar::screening::screen_recording_quality`,
+/// adding progress output and the early-stop option.
 fn screen_streaming(
     system: &EarSonar,
     rec: &Recording,
     min_chirps: Option<usize>,
-) -> Result<MeeState, String> {
+    policy: &RetryPolicy,
+) -> Result<ScreeningOutcome, String> {
     let mut stream = StreamingFrontEnd::new(system.front_end());
     let mut early = false;
     for c in 0..rec.n_chirps {
@@ -235,37 +310,78 @@ fn screen_streaming(
             break;
         }
     }
-    let d = stream.diagnostics();
+    let quality = stream.quality();
+    let usable = stream.chirps_used();
     eprintln!(
-        "\r  {} chirps pushed, {} usable{}",
-        d.chirps_pushed,
-        d.irs_estimated,
+        "\r  {} chirps pushed, {usable} usable{}",
+        quality.chirps_pushed,
         if early { " (stopped early)" } else { "" }
     );
-    let processed = stream.finish().map_err(|e| e.to_string())?;
-    system.classify(&processed).map_err(|e| e.to_string())
+    eprintln!("  quality: {}", quality_line(&quality));
+    let inconclusive = |reason| {
+        ScreeningOutcome::Inconclusive(InconclusiveReport {
+            reason,
+            attempts: 1,
+            quality: Some(quality),
+            captures: CaptureDiagnostics::default(),
+        })
+    };
+    let quorum = policy.min_accepted_chirps.max(1);
+    if usable < quorum {
+        return Ok(inconclusive(InconclusiveReason::QuorumNotMet {
+            needed: quorum,
+            best_usable: usable,
+        }));
+    }
+    let processed = match stream.finish() {
+        Ok(p) => p,
+        Err(EarSonarError::NoEchoDetected) => {
+            return Ok(inconclusive(InconclusiveReason::NoUsableEcho))
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let confidence = processed.quality.confidence();
+    if confidence < policy.min_confidence {
+        return Ok(inconclusive(InconclusiveReason::LowConfidence));
+    }
+    let state = system.classify(&processed).map_err(|e| e.to_string())?;
+    Ok(ScreeningOutcome::Conclusive(ScreeningReport {
+        state,
+        verdict: ScreeningVerdict::from_state(state),
+        confidence,
+        quality: processed.quality,
+        attempts: 1,
+        captures: CaptureDiagnostics::default(),
+    }))
 }
 
-fn cmd_screen(args: &Args) -> Result<(), String> {
+fn cmd_screen(args: &Args) -> Result<bool, String> {
     let model_path = args.model.as_ref().ok_or("screen requires --model FILE")?;
     if args.files.is_empty() {
         return Err("screen requires at least one WAV file".into());
     }
     let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
     let config = system.front_end().config().clone();
+    let policy = args.policy();
+    let mut inconclusive = 0usize;
     for file in &args.files {
         eprintln!("screening {}…", file.display());
         match recording_from_wav(file, &config)
-            .and_then(|rec| screen_streaming(&system, &rec, args.min_chirps))
+            .and_then(|rec| screen_streaming(&system, &rec, args.min_chirps, &policy))
         {
-            Ok(state) => println!("{}\t{}", file.display(), verdict_line(state)),
+            Ok(outcome) => {
+                if !outcome.is_conclusive() {
+                    inconclusive += 1;
+                }
+                println!("{}\t{}", file.display(), outcome_line(&outcome));
+            }
             Err(e) => println!("{}\terror: {e}", file.display()),
         }
     }
-    Ok(())
+    Ok(inconclusive == 0)
 }
 
-fn cmd_screen_wav(args: &Args) -> Result<(), String> {
+fn cmd_screen_wav(args: &Args) -> Result<bool, String> {
     let model_path = args
         .model
         .as_ref()
@@ -275,26 +391,44 @@ fn cmd_screen_wav(args: &Args) -> Result<(), String> {
     }
     let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
     let layout = chirp_layout(system.front_end().config());
+    let policy = args.policy();
     let mut source = WavSignalSource::new(layout, args.files.clone());
+    let mut captures = CaptureDiagnostics::default();
+    let mut inconclusive = 0usize;
     // Drain the capture queue exactly like a live backend: one capture at
-    // a time, failures skip to the next capture.
+    // a time, failures are counted per cause and skip to the next capture.
     loop {
         let label = source
             .next_path()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| source.describe());
+        captures.attempted += 1;
         match source.capture() {
-            Ok(None) => break,
+            Ok(None) => {
+                // Exhaustion is not an attempt.
+                captures.attempted -= 1;
+                break;
+            }
             Ok(Some(rec)) => {
-                match screen_streaming(&system, &rec, args.min_chirps) {
-                    Ok(state) => println!("{label}\t{}", verdict_line(state)),
+                captures.succeeded += 1;
+                match screen_streaming(&system, &rec, args.min_chirps, &policy) {
+                    Ok(outcome) => {
+                        if !outcome.is_conclusive() {
+                            inconclusive += 1;
+                        }
+                        println!("{label}\t{}", outcome_line(&outcome));
+                    }
                     Err(e) => println!("{label}\terror: {e}"),
                 }
             }
-            Err(e) => println!("{label}\terror: {e}"),
+            Err(e) => {
+                captures.record_failure(&e);
+                println!("{label}\terror: {e}");
+            }
         }
     }
-    Ok(())
+    println!("captures: {}", captures.summary());
+    Ok(inconclusive == 0)
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
@@ -352,17 +486,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Screening commands report whether every recording reached a
+    // conclusive verdict; `false` maps to the distinct exit code 2 so
+    // scripts can tell "measure again" from "broken invocation".
     let result = match command.as_str() {
-        "simulate" => cmd_simulate(&args),
-        "train" => cmd_train(&args),
+        "simulate" => cmd_simulate(&args).map(|()| true),
+        "train" => cmd_train(&args).map(|()| true),
         "screen" => cmd_screen(&args),
         "screen-wav" => cmd_screen_wav(&args),
-        "eval" => cmd_eval(&args),
-        "inspect" => cmd_inspect(&args),
+        "eval" => cmd_eval(&args).map(|()| true),
+        "inspect" => cmd_inspect(&args).map(|()| true),
         _ => Err(format!("unknown command `{command}`\n\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE

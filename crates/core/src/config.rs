@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use crate::error::EarSonarError;
+use crate::quality::QualityGateConfig;
 use earsonar_dsp::mfcc::MfccConfig;
 use earsonar_dsp::window::Window;
 
@@ -79,6 +80,8 @@ pub struct EarSonarConfig {
     pub seed: u64,
     /// Enable the paper's distance-based outlier removal before clustering.
     pub remove_outliers: bool,
+    /// Per-chirp signal-quality gate thresholds (see [`crate::quality`]).
+    pub quality: QualityGateConfig,
 }
 
 impl EarSonarConfig {
@@ -120,6 +123,7 @@ impl EarSonarConfig {
             kmeans_restarts: 12,
             seed: 0x0EA5_0A45,
             remove_outliers: true,
+            quality: QualityGateConfig::default(),
         }
     }
 
@@ -223,6 +227,7 @@ impl EarSonarConfig {
                 constraint: "must all be positive",
             });
         }
+        self.quality.validate()?;
         Ok(())
     }
 }
@@ -303,6 +308,8 @@ impl EarSonarConfigBuilder {
         seed: u64,
         /// Enables or disables outlier removal.
         remove_outliers: bool,
+        /// Sets the per-chirp quality-gate thresholds.
+        quality: QualityGateConfig,
     }
 
     /// Finalizes the configuration.
@@ -364,5 +371,16 @@ mod tests {
             .echo_window_half(32)
             .build()
             .is_err());
+        let bad_gate = QualityGateConfig {
+            max_dropout_fraction: -0.5,
+            ..Default::default()
+        };
+        assert!(EarSonarConfig::builder().quality(bad_gate).build().is_err());
+        let off = QualityGateConfig {
+            enabled: false,
+            ..Default::default()
+        };
+        let cfg = EarSonarConfig::builder().quality(off).build().unwrap();
+        assert!(!cfg.quality.enabled);
     }
 }

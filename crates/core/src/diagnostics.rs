@@ -4,7 +4,9 @@
 
 use crate::error::EarSonarError;
 use crate::pipeline::{FrontEnd, ProcessedRecording};
+use crate::quality::QualityRejections;
 use earsonar_signal::recording::Recording;
+use earsonar_signal::source::SignalError;
 use std::fmt::Write as _;
 
 /// Per-stage counters accumulated while a recording moves through the
@@ -16,6 +18,9 @@ use std::fmt::Write as _;
 pub struct Diagnostics {
     /// Chirp windows handed to the front end.
     pub chirps_pushed: usize,
+    /// Windows the signal-quality gate rejected before any processing,
+    /// counted per cause (see [`crate::quality`]).
+    pub quality_rejections: QualityRejections,
     /// Windows the band-pass preprocessing stage rejected.
     pub filter_failures: usize,
     /// Windows in which the adaptive-energy detector found an event.
@@ -34,6 +39,71 @@ impl Diagnostics {
             return 1.0;
         }
         self.spectra_computed as f64 / self.chirps_pushed as f64
+    }
+}
+
+/// Counters over a capture queue: how many captures a screening run
+/// attempted, how many decoded into usable recordings, and why the rest
+/// were skipped. Filled by the CLI's `screen-wav` drain loop and the
+/// retry policy in [`crate::screening`], so skipped files are reported
+/// instead of vanishing into log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaptureDiagnostics {
+    /// Capture attempts made against the source.
+    pub attempted: usize,
+    /// Captures that decoded into a recording.
+    pub succeeded: usize,
+    /// Captures rejected by the decoder or a DSP kernel (unreadable or
+    /// malformed files).
+    pub decode_failures: usize,
+    /// Captures whose sample rate did not match the model's layout.
+    pub rate_mismatches: usize,
+    /// Captures too short (or otherwise unfit) for the chirp layout.
+    pub layout_failures: usize,
+    /// Backend-level capture failures (I/O, device, protocol).
+    pub source_failures: usize,
+}
+
+impl CaptureDiagnostics {
+    /// Captures that failed, across all causes.
+    pub fn failed(&self) -> usize {
+        self.decode_failures + self.rate_mismatches + self.layout_failures + self.source_failures
+    }
+
+    /// Counts one failed capture under its cause.
+    pub fn record_failure(&mut self, error: &SignalError) {
+        match error {
+            SignalError::Dsp(_) => self.decode_failures += 1,
+            SignalError::RateMismatch { .. } => self.rate_mismatches += 1,
+            SignalError::BadLayout { .. } => self.layout_failures += 1,
+            _ => self.source_failures += 1,
+        }
+    }
+
+    /// One-line summary for CLI output, e.g.
+    /// `5 attempted, 3 screened, 2 skipped (1 decode, 1 rate mismatch)`.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} attempted, {} screened, {} skipped",
+            self.attempted,
+            self.succeeded,
+            self.failed()
+        );
+        if self.failed() > 0 {
+            let mut causes: Vec<String> = Vec::new();
+            for (count, label) in [
+                (self.decode_failures, "decode"),
+                (self.rate_mismatches, "rate mismatch"),
+                (self.layout_failures, "layout"),
+                (self.source_failures, "source"),
+            ] {
+                if count > 0 {
+                    causes.push(format!("{count} {label}"));
+                }
+            }
+            let _ = write!(out, " ({})", causes.join(", "));
+        }
+        out
     }
 }
 
@@ -147,13 +217,22 @@ fn render_report(
     let d = &p.diagnostics;
     let _ = writeln!(
         out,
-        "stages    pushed {} | filter drops {} | events {} | irs {} | spectra {} ({:.0}% yield)",
+        "stages    pushed {} | quality drops {} | filter drops {} | events {} | irs {} | spectra {} ({:.0}% yield)",
         d.chirps_pushed,
+        d.quality_rejections.total(),
         d.filter_failures,
         d.events_detected,
         d.irs_estimated,
         d.spectra_computed,
         d.yield_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "quality   {}/{} chirps accepted, mean score {:.2}, confidence {:.2}",
+        p.quality.chirps_accepted,
+        p.quality.chirps_pushed,
+        p.quality.mean_quality,
+        p.quality.confidence()
     );
     out
 }

@@ -29,8 +29,12 @@
 //! * [`baseline`] — a Chan-et-al-style comparator without fine-grained
 //!   segmentation (§VII),
 //! * [`eval`] — leave-one-participant-out evaluation (§VI-A),
+//! * [`quality`] — per-chirp signal-quality scoring and the gate that
+//!   rejects clipped, dropped, noisy, or decorrelated windows before they
+//!   reach the numeric stages,
 //! * [`screening`] — the home-monitoring layer (binary verdicts, trend
-//!   tracking) the paper motivates in §I,
+//!   tracking, bounded re-measurement with typed `Inconclusive` results)
+//!   the paper motivates in §I,
 //! * [`model_io`] — save/load trained systems (train once, ship to
 //!   devices).
 //!
@@ -75,6 +79,7 @@ pub mod features;
 pub mod model_io;
 pub mod pipeline;
 pub mod preprocess;
+pub mod quality;
 pub mod report;
 pub mod screening;
 pub mod segment;
@@ -83,6 +88,8 @@ pub mod streaming;
 pub use config::EarSonarConfig;
 pub use error::EarSonarError;
 pub use pipeline::EarSonar;
+pub use quality::{QualityGateConfig, SessionQuality};
+pub use screening::{RetryPolicy, ScreeningOutcome};
 pub use streaming::StreamingFrontEnd;
 
 /// Re-export of the effusion-state enum shared with the detection core's

@@ -96,6 +96,16 @@ pub fn model_to_string(system: &EarSonar) -> String {
     let _ = writeln!(out, "kmeans_restarts: {}", cfg.kmeans_restarts);
     let _ = writeln!(out, "seed: {}", cfg.seed);
     let _ = writeln!(out, "remove_outliers: {}", cfg.remove_outliers);
+    let _ = writeln!(
+        out,
+        "quality_gate: {} {} {} {} {} {}",
+        cfg.quality.enabled,
+        cfg.quality.max_clip_fraction,
+        cfg.quality.max_dropout_fraction,
+        cfg.quality.min_snr_db,
+        cfg.quality.min_correlation,
+        cfg.quality.max_dc_fraction
+    );
 
     // Detector components.
     let join = |v: &[f64]| {
@@ -257,6 +267,34 @@ pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
             "false" => false,
             _ => return Err(bad("bad boolean in model file")),
         },
+        // Absent in models saved before the quality gate existed; those
+        // load with the default thresholds (gate on), matching how an
+        // updated device would treat an old factory model.
+        quality: match get("quality_gate") {
+            Err(_) => crate::quality::QualityGateConfig::default(),
+            Ok(line) => {
+                let mut parts = line.split_whitespace();
+                let enabled = match parts.next() {
+                    Some("true") => true,
+                    Some("false") => false,
+                    _ => return Err(bad("bad boolean in model file")),
+                };
+                let rest: Vec<f64> = parts
+                    .map(|t| t.parse::<f64>().map_err(|_| bad("bad float in model file")))
+                    .collect::<Result<_, _>>()?;
+                if rest.len() != 5 {
+                    return Err(bad("expected five quality-gate thresholds"));
+                }
+                crate::quality::QualityGateConfig {
+                    enabled,
+                    max_clip_fraction: rest[0],
+                    max_dropout_fraction: rest[1],
+                    min_snr_db: rest[2],
+                    min_correlation: rest[3],
+                    max_dc_fraction: rest[4],
+                }
+            }
+        },
     };
     config.validate()?;
 
@@ -345,6 +383,41 @@ mod tests {
             system.front_end().config(),
             restored.front_end().config()
         );
+    }
+
+    #[test]
+    fn quality_gate_survives_round_trip_and_defaults_when_absent() {
+        let (system, _) = trained();
+        let text = model_to_string(&system);
+        assert!(text.contains("quality_gate: true"));
+        // A pre-gate model file (no quality_gate line) loads with the
+        // default thresholds instead of failing.
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("quality_gate:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let restored = model_from_string(&legacy).expect("legacy parse");
+        assert_eq!(
+            restored.front_end().config().quality,
+            crate::quality::QualityGateConfig::default()
+        );
+        // A malformed gate line is rejected.
+        let broken = text.replace("quality_gate: true", "quality_gate: maybe");
+        assert!(model_from_string(&broken).is_err());
+        let short = text.replace("quality_gate: true ", "quality_gate: true 0.5 ");
+        let short: String = short
+            .lines()
+            .map(|l| {
+                if l.starts_with("quality_gate:") {
+                    "quality_gate: true 0.5"
+                } else {
+                    l
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(model_from_string(&short).is_err());
     }
 
     #[test]

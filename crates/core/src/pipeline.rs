@@ -17,6 +17,7 @@ use crate::error::EarSonarError;
 use crate::event::detect_events_with_floor;
 use crate::features::FeatureExtractor;
 use crate::preprocess::Preprocessor;
+use crate::quality::{self, NoiseFloor, QualityCause, SessionQuality};
 use crate::segment::{segment_with_anchor, EardrumEcho};
 use earsonar_dsp::plan::DspScratch;
 use earsonar_signal::effusion::MeeState;
@@ -38,6 +39,9 @@ pub struct ProcessedRecording {
     pub chirps_used: usize,
     /// Per-stage counters gathered while the chirps moved through.
     pub diagnostics: Diagnostics,
+    /// Session-level signal quality: acceptance counts, mean chirp score,
+    /// and the screening confidence derived from them.
+    pub quality: SessionQuality,
 }
 
 /// What became of one chirp window handed to the front end.
@@ -51,6 +55,11 @@ pub enum ChirpOutcome {
     FilterFailed,
     /// Wiener deconvolution failed on the window.
     EstimationFailed,
+    /// The signal-quality gate rejected the window before any processing.
+    QualityRejected {
+        /// Which metric crossed its hard threshold.
+        cause: QualityCause,
+    },
 }
 
 impl ChirpOutcome {
@@ -76,6 +85,30 @@ pub(crate) struct ChirpAccumulator {
     /// own edge reflection.
     pub(crate) prev_tail: Vec<f64>,
     pub(crate) diagnostics: Diagnostics,
+    /// Sum of per-chirp quality scores over every pushed window.
+    pub(crate) quality_sum: f64,
+    /// Running inter-chirp gap noise floor behind the per-chirp SNR metric.
+    pub(crate) noise_floor: NoiseFloor,
+    /// The previous raw window, kept for the chirp-to-chirp correlation
+    /// metric (cleared and refilled in place, no per-chirp allocation).
+    pub(crate) prev_window: Vec<f64>,
+}
+
+impl ChirpAccumulator {
+    /// Aggregates the per-chirp quality state into a session-level report.
+    pub(crate) fn session_quality(&self) -> SessionQuality {
+        let pushed = self.diagnostics.chirps_pushed;
+        SessionQuality {
+            chirps_pushed: pushed,
+            chirps_accepted: pushed.saturating_sub(self.diagnostics.quality_rejections.total()),
+            mean_quality: if pushed == 0 {
+                1.0
+            } else {
+                self.quality_sum / pushed as f64
+            },
+            rejections: self.diagnostics.quality_rejections,
+        }
+    }
 }
 
 /// The signal-processing front end, reusable without a fitted detector.
@@ -179,12 +212,18 @@ impl FrontEnd {
         self.finalize(scratch, acc)
     }
 
-    /// Stage 1, per chirp: band-pass filter one chirp window, gate it on
-    /// the adaptive-energy event detector, and — when an event is present
-    /// — Wiener-deconvolve it into a channel impulse response accumulated
-    /// for the finalize stages. Failures are recorded in the accumulator's
+    /// Stage 1, per chirp: measure the raw window's signal quality and
+    /// gate it, then band-pass filter it, gate it on the adaptive-energy
+    /// event detector, and — when an event is present — Wiener-deconvolve
+    /// it into a channel impulse response accumulated for the finalize
+    /// stages. Failures are recorded in the accumulator's
     /// [`Diagnostics`], never raised: a bad chirp is data loss, not an
     /// error.
+    ///
+    /// The quality gate runs before any numeric stage touches the window,
+    /// so accepted windows are processed exactly as they would be with
+    /// the gate disabled: a session with zero rejections yields
+    /// bit-identical features either way.
     // lint: hot-path
     pub(crate) fn push_window(
         &self,
@@ -193,6 +232,31 @@ impl FrontEnd {
         window: &[f64],
     ) -> ChirpOutcome {
         acc.diagnostics.chirps_pushed += 1;
+        let gate = &self.config.quality;
+        if gate.enabled {
+            let measured = quality::measure_window(
+                window,
+                &acc.prev_window,
+                &mut acc.noise_floor,
+                self.config.chirp_len + self.config.ir_taps,
+            );
+            acc.quality_sum += measured.score(gate);
+            // The correlation reference advances over every pushed window,
+            // accepted or not, so the measurement sequence is a pure
+            // function of the pushed windows (batch ≡ streaming).
+            acc.prev_window.clear();
+            acc.prev_window.extend_from_slice(window);
+            if let Some(cause) = measured.gate(gate) {
+                acc.diagnostics.quality_rejections.record(cause);
+                // A rejected window's samples must not leak into the next
+                // window's filter context or the event detector's power
+                // floor.
+                acc.prev_tail.clear();
+                return ChirpOutcome::QualityRejected { cause };
+            }
+        } else {
+            acc.quality_sum += 1.0;
+        }
         // Filter the window with the previous window's raw tail as left
         // context, then drop the context from the output: the chirp burst
         // at the window's start is filtered against the quiet gap that
@@ -258,6 +322,7 @@ impl FrontEnd {
         scratch: &mut DspScratch,
         mut acc: ChirpAccumulator,
     ) -> Result<ProcessedRecording, EarSonarError> {
+        let quality = acc.session_quality();
         if acc.irs.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }
@@ -313,6 +378,7 @@ impl FrontEnd {
             echoes,
             chirps_used: spectra.len(),
             diagnostics: acc.diagnostics,
+            quality,
         })
     }
 }

@@ -18,6 +18,7 @@
 use crate::error::EarSonarError;
 use crate::diagnostics::Diagnostics;
 use crate::pipeline::{ChirpAccumulator, ChirpOutcome, FrontEnd, ProcessedRecording};
+use crate::quality::SessionQuality;
 use earsonar_dsp::plan::DspScratch;
 use earsonar_signal::recording::Recording;
 use earsonar_signal::source::SignalSource;
@@ -138,6 +139,14 @@ impl<'a> StreamingFrontEnd<'a> {
     /// Per-stage counters accumulated so far.
     pub fn diagnostics(&self) -> Diagnostics {
         self.acc.diagnostics
+    }
+
+    /// Session-level signal quality over everything pushed so far:
+    /// acceptance counts, per-cause rejections, mean chirp score, and the
+    /// derived confidence. Available before [`StreamingFrontEnd::finish`],
+    /// so a caller can abort or re-measure a session that is going badly.
+    pub fn quality(&self) -> SessionQuality {
+        self.acc.session_quality()
     }
 
     /// Returns `true` once at least `min_chirps` chirps have produced

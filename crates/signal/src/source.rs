@@ -85,26 +85,56 @@ pub trait SignalSource {
     fn capture(&mut self) -> Result<Option<Recording>, SignalError>;
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// A source yielding a fixed queue of in-memory recordings — the minimal
+/// conforming [`SignalSource`]. Useful as a test double anywhere a capture
+/// backend is expected, and as the deterministic repeat-measurement source
+/// behind retry-policy tests (queue the same recording several times).
+#[derive(Debug, Clone)]
+pub struct QueueSource {
+    queue: Vec<Recording>,
+    next: usize,
+}
 
-    /// A source yielding a fixed queue of recordings — the minimal
-    /// conforming implementation, also useful to other crates' tests.
-    struct QueueSource(Vec<Recording>);
-
-    impl SignalSource for QueueSource {
-        fn describe(&self) -> String {
-            format!("queue of {} recordings", self.0.len())
+impl QueueSource {
+    /// A source that yields `recordings` in order, then reports
+    /// exhaustion.
+    pub fn new(recordings: Vec<Recording>) -> QueueSource {
+        QueueSource {
+            queue: recordings,
+            next: 0,
         }
-        fn capture(&mut self) -> Result<Option<Recording>, SignalError> {
-            if self.0.is_empty() {
-                Ok(None)
-            } else {
-                Ok(Some(self.0.remove(0)))
+    }
+
+    /// A source that yields `recording` `copies` times.
+    pub fn repeating(recording: Recording, copies: usize) -> QueueSource {
+        QueueSource::new(vec![recording; copies])
+    }
+
+    /// Recordings not yet captured.
+    pub fn remaining(&self) -> usize {
+        self.queue.len().saturating_sub(self.next)
+    }
+}
+
+impl SignalSource for QueueSource {
+    fn describe(&self) -> String {
+        format!("queue of {} recordings", self.queue.len())
+    }
+
+    fn capture(&mut self) -> Result<Option<Recording>, SignalError> {
+        match self.queue.get(self.next) {
+            None => Ok(None),
+            Some(r) => {
+                self.next += 1;
+                Ok(Some(r.clone()))
             }
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
 
     fn rec(tag: f64) -> Recording {
         Recording {
@@ -118,10 +148,21 @@ mod tests {
 
     #[test]
     fn sources_yield_until_exhausted() {
-        let mut src = QueueSource(vec![rec(1.0), rec(2.0)]);
+        let mut src = QueueSource::new(vec![rec(1.0), rec(2.0)]);
         assert!(src.describe().contains("2 recordings"));
+        assert_eq!(src.remaining(), 2);
         assert_eq!(src.capture().unwrap().unwrap().samples[0], 1.0);
         assert_eq!(src.capture().unwrap().unwrap().samples[0], 2.0);
+        assert_eq!(src.remaining(), 0);
+        assert!(src.capture().unwrap().is_none());
+    }
+
+    #[test]
+    fn repeating_queue_replays_the_same_recording() {
+        let mut src = QueueSource::repeating(rec(3.0), 3);
+        for _ in 0..3 {
+            assert_eq!(src.capture().unwrap().unwrap().samples[0], 3.0);
+        }
         assert!(src.capture().unwrap().is_none());
     }
 

@@ -21,7 +21,10 @@
 //!   clinical study collected them,
 //! * [`source`] — the simulator exposed as an
 //!   [`earsonar_signal::source::SignalSource`], interchangeable with WAV
-//!   files or real capture hardware.
+//!   files or real capture hardware,
+//! * [`faults`] — deterministic, severity-parameterized corruption
+//!   primitives (clipping, dropouts, burst noise, DC bias, earbud removal,
+//!   truncation) applicable to any recording or wrapped around any source.
 //!
 //! The hardware-agnostic data types ([`earsonar_signal::recording::Recording`],
 //! [`earsonar_signal::session::Session`], [`MeeState`]) live in the
@@ -58,6 +61,7 @@ pub mod dataset;
 pub mod device;
 pub mod ear;
 pub mod effusion;
+pub mod faults;
 pub mod motion;
 pub mod noise;
 pub mod patient;

@@ -18,6 +18,14 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> robustness: fault injection, quality gating, monotonicity"
+# Explicitly exercised even though --workspace already ran them: these
+# suites are the acceptance bar for graceful degradation (a corrupted
+# capture must recover to the clean verdict or refuse — never flip the
+# effusion class). See DESIGN.md "Robustness & graceful degradation".
+cargo test -q --test failure_injection --test quality_monotonicity
+cargo test -q -p earsonar quality::
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
