@@ -92,6 +92,13 @@ pub(crate) struct ChirpAccumulator {
     /// The previous raw window, kept for the chirp-to-chirp correlation
     /// metric (cleared and refilled in place, no per-chirp allocation).
     pub(crate) prev_window: Vec<f64>,
+    /// Reused context+window concatenation buffer for the zero-phase
+    /// filter (cleared and refilled per chirp, no per-chirp allocation).
+    pub(crate) contextual: Vec<f64>,
+    /// Reused reflected-extension scratch of the zero-phase filter.
+    pub(crate) filt_ext: Vec<f64>,
+    /// Reused filtered-output buffer.
+    pub(crate) filtered: Vec<f64>,
 }
 
 impl ChirpAccumulator {
@@ -260,34 +267,37 @@ impl FrontEnd {
         // Filter the window with the previous window's raw tail as left
         // context, then drop the context from the output: the chirp burst
         // at the window's start is filtered against the quiet gap that
-        // really preceded it instead of its own edge reflection.
+        // really preceded it instead of its own edge reflection. The
+        // concatenation, the filter's reflected extension, and the
+        // filtered output all live in reused accumulator buffers.
         let ctx = acc.prev_tail.len();
-        let mut contextual = Vec::with_capacity(ctx + window.len());
-        contextual.extend_from_slice(&acc.prev_tail);
-        contextual.extend_from_slice(window);
+        acc.contextual.clear();
+        acc.contextual.extend_from_slice(&acc.prev_tail);
+        acc.contextual.extend_from_slice(window);
         let keep = window.len().min(self.preprocessor.context_len());
         acc.prev_tail.clear();
         acc.prev_tail.extend_from_slice(&window[window.len() - keep..]);
-        let mut filtered = match self.preprocessor.run(&contextual) {
-            Ok(f) => f,
-            Err(_) => {
-                acc.diagnostics.filter_failures += 1;
-                return ChirpOutcome::FilterFailed;
-            }
-        };
-        filtered.drain(..ctx);
+        if self
+            .preprocessor
+            .run_with(&acc.contextual, &mut acc.filt_ext, &mut acc.filtered)
+            .is_err()
+        {
+            acc.diagnostics.filter_failures += 1;
+            return ChirpOutcome::FilterFailed;
+        }
+        let filtered = &acc.filtered[ctx..];
         // Running mean power over every window seen so far — the causal
         // analogue of the batch detector's whole-recording power floor.
         // Chirp `c` sees the floor of chirps `0..=c`, identically in the
         // batch and streaming paths.
-        acc.power_sum += filtered.iter().map(|&x| x * x).sum::<f64>();
+        acc.power_sum += earsonar_dsp::simd::sum_sq(filtered);
         acc.power_len += filtered.len();
         let floor = if acc.power_len == 0 {
             0.0
         } else {
             acc.power_sum / acc.power_len as f64
         };
-        let has_event = match detect_events_with_floor(&filtered, floor, &self.config) {
+        let has_event = match detect_events_with_floor(filtered, floor, &self.config) {
             Ok(events) => !events.is_empty(),
             // A window shorter than the detection window cannot hold an
             // event (trailing partial chirp).
@@ -298,7 +308,7 @@ impl FrontEnd {
         }
         acc.diagnostics.events_detected += 1;
         let mut ir = Vec::with_capacity(self.estimator.n_taps());
-        match self.estimator.estimate_with(scratch, &filtered, &mut ir) {
+        match self.estimator.estimate_with(scratch, filtered, &mut ir) {
             Ok(_) => {
                 acc.diagnostics.irs_estimated += 1;
                 acc.irs.push(ir);

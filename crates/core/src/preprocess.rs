@@ -7,7 +7,7 @@
 
 use crate::config::EarSonarConfig;
 use crate::error::EarSonarError;
-use earsonar_dsp::filter::{butter_bandpass, filtfilt, BiquadCascade};
+use earsonar_dsp::filter::{butter_bandpass, filtfilt, filtfilt_with, BiquadCascade};
 
 /// A reusable preprocessing stage holding the designed band-pass filter.
 #[derive(Debug, Clone)]
@@ -37,12 +37,35 @@ impl Preprocessor {
 
     /// Zero-phase band-pass filters a raw capture.
     ///
+    /// This is the pinned scalar reference path (allocating
+    /// [`filtfilt`]); the pipeline's per-chirp loop uses
+    /// [`Preprocessor::run_with`], which is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::Dsp`] for an empty signal.
+    pub fn run(&self, samples: &[f64]) -> Result<Vec<f64>, EarSonarError> {
+        Ok(filtfilt(&self.filter, samples, self.pad)?)
+    }
+
+    /// [`Preprocessor::run`] into caller-owned buffers: `ext` holds the
+    /// filter's reflected extension, `out` the filtered samples.
+    /// Allocation-free once the buffers are warm, no per-call cascade
+    /// clone, and **bit-identical** to [`Preprocessor::run`] (see
+    /// [`filtfilt_with`]).
+    ///
     /// # Errors
     ///
     /// Returns [`EarSonarError::Dsp`] for an empty signal.
     // lint: hot-path
-    pub fn run(&self, samples: &[f64]) -> Result<Vec<f64>, EarSonarError> {
-        Ok(filtfilt(&self.filter, samples, self.pad)?)
+    pub fn run_with(
+        &self,
+        samples: &[f64],
+        ext: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), EarSonarError> {
+        filtfilt_with(&self.filter, samples, self.pad, ext, out)?;
+        Ok(())
     }
 
     /// The designed filter (for inspection and benchmarking).
@@ -103,6 +126,26 @@ mod tests {
     fn empty_input_is_rejected() {
         let pre = Preprocessor::new(&config()).unwrap();
         assert!(matches!(pre.run(&[]), Err(EarSonarError::Dsp(_))));
+        let (mut ext, mut out) = (Vec::new(), Vec::new());
+        assert!(matches!(
+            pre.run_with(&[], &mut ext, &mut out),
+            Err(EarSonarError::Dsp(_))
+        ));
+    }
+
+    #[test]
+    fn run_with_is_bit_identical_to_run() {
+        let pre = Preprocessor::new(&config()).unwrap();
+        let fs = 48_000.0;
+        let (mut ext, mut out) = (Vec::new(), Vec::new());
+        for n in [2048usize, 241, 17] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (2.0 * PI * 18_000.0 * i as f64 / fs).sin() * (1.0 + i as f64 * 1e-4))
+                .collect();
+            let reference = pre.run(&x).unwrap();
+            pre.run_with(&x, &mut ext, &mut out).unwrap();
+            assert_eq!(out, reference, "n={n}");
+        }
     }
 
     #[test]

@@ -37,18 +37,37 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
         return Err(DspError::EmptyInput);
     }
     let n = a.len() as f64;
-    let mean_a = a.iter().sum::<f64>() / n;
-    let mean_b = b.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut var_a = 0.0;
-    let mut var_b = 0.0;
-    for (&x, &y) in a.iter().zip(b) {
-        let dx = x - mean_a;
-        let dy = y - mean_b;
-        cov += dx * dy;
-        var_a += dx * dx;
-        var_b += dy * dy;
+    let mean_a = crate::simd::sum(a) / n;
+    let mean_b = crate::simd::sum(b) / n;
+    let (cov, var_a, var_b) = crate::simd::centered_moments(a, mean_a, b, mean_b);
+    if var_a == 0.0 || var_b == 0.0 {
+        return Ok(0.0);
     }
+    Ok((cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// The pinned scalar reference for [`pearson`]: single-accumulator sums in
+/// strict order. [`pearson`] reassociates its reductions across four lanes
+/// and may differ at the ulp level (see [`crate::simd`]); the
+/// kernel-equivalence suite bounds the difference.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn pearson_scalar(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = a.len() as f64;
+    let mean_a = crate::simd::sum_scalar(a) / n;
+    let mean_b = crate::simd::sum_scalar(b) / n;
+    let (cov, var_a, var_b) = crate::simd::centered_moments_scalar(a, mean_a, b, mean_b);
     if var_a == 0.0 || var_b == 0.0 {
         return Ok(0.0);
     }
@@ -102,17 +121,19 @@ pub fn normalized_cross_correlation(a: &[f64], b: &[f64]) -> Result<Vec<f64>, Ds
             actual: b.len(),
         });
     }
-    let eb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // Four-lane template energy, window energy, and window dot products
+    // (ulp-level reassociation; see `crate::simd`).
+    let eb: f64 = crate::simd::sum_sq(b).sqrt();
     let m = b.len();
     let mut out = Vec::with_capacity(a.len() - m + 1);
     for start in 0..=(a.len() - m) {
         let window = &a[start..start + m];
-        let ea: f64 = window.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ea: f64 = crate::simd::sum_sq(window).sqrt();
         if ea == 0.0 || eb == 0.0 {
             out.push(0.0);
             continue;
         }
-        let dot: f64 = window.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let dot = crate::simd::dot(window, b);
         out.push((dot / (ea * eb)).clamp(-1.0, 1.0));
     }
     Ok(out)

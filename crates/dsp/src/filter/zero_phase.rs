@@ -67,6 +67,55 @@ pub fn filtfilt(
     Ok(backward[pad..pad + n].to_vec())
 }
 
+/// [`filtfilt`] into caller-owned buffers: `ext` holds the reflected
+/// extension and is filtered **in place** (section-major, recurrence
+/// state in registers — [`BiquadCascade::run_in_place`]); `out` receives
+/// the `signal.len()` output samples. Allocation-free once both buffers
+/// have grown to size, and no per-call cascade clone.
+///
+/// **Bit-identical** to [`filtfilt`], which stays as the pinned scalar
+/// reference: the reflected extension is built in the same order, each
+/// filtering pass performs identical per-section operations, and the
+/// reversals/copies are exact. Pinned by `filtfilt_with_is_bit_identical`
+/// below and `tests/kernel_equivalence.rs`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `signal` is empty.
+// lint: hot-path
+pub fn filtfilt_with(
+    filter: &BiquadCascade,
+    signal: &[f64],
+    pad: usize,
+    ext: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = signal.len();
+    let pad = pad.min(n - 1);
+
+    ext.clear();
+    ext.reserve(n + 2 * pad);
+    for i in (1..=pad).rev() {
+        ext.push(2.0 * signal[0] - signal[i]);
+    }
+    ext.extend_from_slice(signal);
+    for i in (n - 1 - pad..n - 1).rev() {
+        ext.push(2.0 * signal[n - 1] - signal[i]);
+    }
+
+    filter.run_in_place(ext); // forward pass
+    ext.reverse();
+    filter.run_in_place(ext); // backward pass
+    ext.reverse();
+
+    out.clear();
+    out.extend_from_slice(&ext[pad..pad + n]);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +192,27 @@ mod tests {
                 "freq {freq}: rms {rms_y} vs expected {expect}"
             );
         }
+    }
+
+    #[test]
+    fn filtfilt_with_is_bit_identical() {
+        let fs = 48_000.0;
+        let f = butter_bandpass(4, 16_000.0, 20_000.0, fs).unwrap();
+        let mut ext = Vec::new();
+        let mut out = Vec::new();
+        // Odd lengths and pads exercise the reflection and copy indexing.
+        for (n, pad) in [(240usize, 72usize), (241, 72), (17, 100), (1, 8)] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (2.0 * PI * 18_000.0 * i as f64 / fs).sin() * (1.0 + i as f64 * 1e-3))
+                .collect();
+            let reference = filtfilt(&f, &x, pad).unwrap();
+            filtfilt_with(&f, &x, pad, &mut ext, &mut out).unwrap();
+            assert_eq!(out, reference, "n={n} pad={pad}");
+        }
+        assert!(matches!(
+            filtfilt_with(&f, &[], 8, &mut ext, &mut out),
+            Err(DspError::EmptyInput)
+        ));
     }
 
     #[test]

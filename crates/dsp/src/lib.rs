@@ -15,6 +15,8 @@
 //! * [`mfcc`] — mel-frequency cepstral coefficients,
 //! * [`convolution`] / [`correlation`] — including the auto-convolution used
 //!   by the paper's parity-decomposition echo segmentation,
+//! * [`simd`] — four-lane vectorized reduction kernels with pinned
+//!   scalar twins (the hot-path building blocks),
 //! * [`stats`] — the statistical feature primitives (skewness, kurtosis, …),
 //! * [`peak`], [`interp`], [`dct`], [`goertzel`], [`spectrum`], [`decibel`].
 //!
@@ -65,6 +67,7 @@ pub mod peak;
 pub mod plan;
 pub mod psd;
 pub mod rng;
+pub mod simd;
 pub mod smoothing;
 pub mod spectrogram;
 pub mod wav;

@@ -28,9 +28,21 @@ pub fn mel_to_hz(mel: f64) -> f64 {
 
 /// A triangular mel filterbank mapping an FFT power spectrum to mel-band
 /// energies.
+///
+/// Triangular filters have contiguous support, so the bank stores its taps
+/// **dense**: one flat weight array plus a `(first bin, offset)` pair per
+/// filter. Applying a filter is then a contiguous dot product over the
+/// spectrum — the layout the four-lane kernel ([`crate::simd::dot`])
+/// needs — instead of a sparse `(index, weight)` gather.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MelFilterBank {
-    filters: Vec<Vec<(usize, f64)>>,
+    /// Tap weights, filter-major: filter `f` owns
+    /// `weights[offsets[f]..offsets[f + 1]]`.
+    weights: Vec<f64>,
+    /// First spectrum bin each filter's weights apply to.
+    starts: Vec<usize>,
+    /// Per-filter extents into `weights` (`n_filters + 1` entries).
+    offsets: Vec<usize>,
     n_fft: usize,
     fs: f64,
     f_min: f64,
@@ -86,12 +98,18 @@ impl MelFilterBank {
             .collect();
         let hz_per_bin = fs / n_fft as f64;
         let n_bins = n_fft / 2 + 1;
-        let mut filters = Vec::with_capacity(n_filters);
+        // A triangle's support is one contiguous run of bins, so each
+        // filter stores `(first bin, dense weight run)` — zero-weight bins
+        // at the run edges are kept (they contribute exactly +0.0).
+        let mut weights = Vec::new();
+        let mut starts = Vec::with_capacity(n_filters);
+        let mut offsets = Vec::with_capacity(n_filters + 1);
+        offsets.push(0);
         for f in 0..n_filters {
             let (lo, mid, hi) = (edges_hz[f], edges_hz[f + 1], edges_hz[f + 2]);
-            let mut taps = Vec::new();
             let k_start = (lo / hz_per_bin).floor().max(0.0) as usize;
             let k_end = ((hi / hz_per_bin).ceil() as usize).min(n_bins.saturating_sub(1));
+            starts.push(k_start);
             for k in k_start..=k_end {
                 let fk = k as f64 * hz_per_bin;
                 let w = if fk < lo || fk > hi {
@@ -107,14 +125,14 @@ impl MelFilterBank {
                 } else {
                     1.0
                 };
-                if w > 0.0 {
-                    taps.push((k, w));
-                }
+                weights.push(w);
             }
-            filters.push(taps);
+            offsets.push(weights.len());
         }
         Ok(MelFilterBank {
-            filters,
+            weights,
+            starts,
+            offsets,
             n_fft,
             fs,
             f_min,
@@ -124,12 +142,12 @@ impl MelFilterBank {
 
     /// The number of filters in the bank.
     pub fn len(&self) -> usize {
-        self.filters.len()
+        self.starts.len()
     }
 
     /// Returns `true` if the bank has no filters (cannot occur via [`MelFilterBank::new`]).
     pub fn is_empty(&self) -> bool {
-        self.filters.is_empty()
+        self.starts.is_empty()
     }
 
     /// The FFT size the bank was built for.
@@ -150,19 +168,65 @@ impl MelFilterBank {
     /// Returns [`DspError::InvalidLength`] if the spectrum length does not
     /// match the bank's FFT size.
     pub fn apply(&self, power_spectrum: &[f64]) -> Result<Vec<f64>, DspError> {
-        let mut out = Vec::with_capacity(self.filters.len());
+        let mut out = Vec::with_capacity(self.len());
         self.apply_into(power_spectrum, &mut out)?;
         Ok(out)
     }
 
     /// [`MelFilterBank::apply`] writing into a caller-owned buffer
     /// (cleared and refilled) — allocation-free once the buffer has grown
-    /// to the bank size.
+    /// to the bank size. Each filter is one contiguous dot product over
+    /// the spectrum ([`crate::simd::dot`]), which reassociates across four
+    /// lanes — ulp-equal to [`MelFilterBank::apply_into_scalar`] (see
+    /// [`crate::simd`] for the bound). Filters too narrow to amortize the
+    /// four-lane fold (the common case for the paper's 4 kHz band, ~6 bins
+    /// per triangle) take the strict-order path, which for them is also
+    /// bit-identical to the scalar reference.
     ///
     /// # Errors
     ///
     /// Same conditions as [`MelFilterBank::apply`].
+    // lint: hot-path
     pub fn apply_into(&self, power_spectrum: &[f64], out: &mut Vec<f64>) -> Result<(), DspError> {
+        self.check_spectrum(power_spectrum)?;
+        out.clear();
+        out.extend(self.offsets.windows(2).zip(&self.starts).map(|(o, &k0)| {
+            let w = &self.weights[o[0]..o[1]];
+            let x = &power_spectrum[k0..k0 + w.len()];
+            if w.len() < 16 {
+                crate::simd::dot_scalar(w, x)
+            } else {
+                crate::simd::dot(w, x)
+            }
+        }));
+        Ok(())
+    }
+
+    /// The pinned scalar reference for [`MelFilterBank::apply_into`]:
+    /// single-accumulator dot products in strict tap order (the pre-SIMD
+    /// behaviour). Pinned by `tests/kernel_equivalence.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MelFilterBank::apply`].
+    pub fn apply_into_scalar(
+        &self,
+        power_spectrum: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        self.check_spectrum(power_spectrum)?;
+        out.clear();
+        out.extend(self.offsets.windows(2).zip(&self.starts).map(|(o, &k0)| {
+            let w = &self.weights[o[0]..o[1]];
+            w.iter()
+                .zip(&power_spectrum[k0..k0 + w.len()])
+                .map(|(&wk, &pk)| wk * pk)
+                .sum::<f64>()
+        }));
+        Ok(())
+    }
+
+    fn check_spectrum(&self, power_spectrum: &[f64]) -> Result<(), DspError> {
         let expect = self.n_fft / 2 + 1;
         if power_spectrum.len() != expect {
             return Err(DspError::InvalidLength {
@@ -170,12 +234,6 @@ impl MelFilterBank {
                 actual: power_spectrum.len(),
             });
         }
-        out.clear();
-        out.extend(
-            self.filters
-                .iter()
-                .map(|taps| taps.iter().map(|&(k, w)| w * power_spectrum[k]).sum::<f64>()),
-        );
         Ok(())
     }
 
@@ -183,7 +241,7 @@ impl MelFilterBank {
     pub fn center_frequencies(&self) -> Vec<f64> {
         let mel_lo = hz_to_mel(self.f_min);
         let mel_hi = hz_to_mel(self.f_max);
-        let n = self.filters.len();
+        let n = self.len();
         (1..=n)
             .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f64 / (n + 1) as f64))
             .collect()
@@ -267,6 +325,24 @@ mod tests {
         ps[k] = 100.0;
         let energies = bank.apply(&ps).unwrap();
         assert!(energies.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn dense_apply_matches_scalar_reference() {
+        let fs = 48_000.0;
+        let n_fft = 1024;
+        let bank = MelFilterBank::new(25, n_fft, fs, 16_000.0, 20_000.0).unwrap();
+        let ps: Vec<f64> = (0..n_fft / 2 + 1)
+            .map(|k| ((k as f64 * 0.113).sin() + 1.01) * 1e-3)
+            .collect();
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        bank.apply_into(&ps, &mut fast).unwrap();
+        bank.apply_into_scalar(&ps, &mut slow).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() <= 1e-12 * s.abs().max(1.0), "{f} vs {s}");
+        }
     }
 
     #[test]

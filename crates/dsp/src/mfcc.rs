@@ -79,6 +79,15 @@ pub struct MfccExtractor {
     config: MfccConfig,
     bank: MelFilterBank,
     n_fft: usize,
+    /// Window taps for a full `n_fft`-length frame, precomputed so the hot
+    /// path multiplies instead of evaluating a cosine per sample. Shorter
+    /// (zero-padded) frames fall back to [`Window::apply_in_place`].
+    window_taps: Vec<f64>,
+    /// Orthonormal DCT-II cosines, row-major: row `k` holds
+    /// `cos(PI/n_filters * (i + 0.5) * k)` for `i in 0..n_filters`.
+    /// The `sqrt(1/n)` / `sqrt(2/n)` scale is applied after the dot
+    /// product, exactly as the scalar reference does.
+    dct_basis: Vec<f64>,
 }
 
 impl MfccExtractor {
@@ -103,10 +112,21 @@ impl MfccExtractor {
             config.f_min,
             config.f_max,
         )?;
+        let mut window_taps = Vec::new();
+        config.window.coefficients_into(n_fft, &mut window_taps);
+        let nf = config.n_filters as f64;
+        let dct_basis: Vec<f64> = (0..config.n_coeffs)
+            .flat_map(|k| {
+                (0..config.n_filters)
+                    .map(move |i| (PI / nf * (i as f64 + 0.5) * k as f64).cos())
+            })
+            .collect();
         Ok(MfccExtractor {
             config,
             bank,
             n_fft,
+            window_taps,
+            dct_basis,
         })
     }
 
@@ -156,7 +176,14 @@ impl MfccExtractor {
         let take = segment.len().min(self.n_fft);
         let mut frame = scratch.take_real();
         frame.extend_from_slice(&segment[..take]);
-        self.config.window.apply_in_place(&mut frame);
+        if take == self.n_fft {
+            // Precomputed taps: bit-identical to `apply_in_place`, no
+            // per-sample cosine.
+            crate::window::apply_precomputed(&self.window_taps, &mut frame);
+        } else {
+            // Zero-padded short frame — taps depend on frame length.
+            self.config.window.apply_in_place(&mut frame);
+        }
 
         let plan = scratch.real_plan(self.n_fft)?;
         let mut work = scratch.take_complex();
@@ -184,7 +211,78 @@ impl MfccExtractor {
             *e = e.max(LOG_FLOOR).ln();
         }
 
-        // Orthonormal DCT-II, computing only the retained coefficients.
+        // Orthonormal DCT-II over the precomputed cosine basis: one
+        // four-lane dot product per retained coefficient, no per-element
+        // transcendentals (ulp-equal to the scalar reference; see
+        // `crate::simd`).
+        let nf = mel_energies.len() as f64;
+        out.clear();
+        for (k, row) in self
+            .dct_basis
+            .chunks_exact(self.config.n_filters)
+            .enumerate()
+        {
+            let sum = crate::simd::dot(&mel_energies, row);
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            out.push(sum * scale);
+        }
+        scratch.put_real(mel_energies);
+        Ok(())
+    }
+
+    /// The pinned scalar reference for [`MfccExtractor::extract_into`]:
+    /// per-sample window cosines, sparse-order mel sums, and a per-element
+    /// cosine DCT, all with single strict-order accumulators (the pre-SIMD
+    /// behaviour). The vectorized path differs only by reduction
+    /// reassociation; `tests/kernel_equivalence.rs` bounds the gap.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MfccExtractor::extract`].
+    pub fn extract_into_scalar(
+        &self,
+        scratch: &mut DspScratch,
+        segment: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), DspError> {
+        if segment.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let take = segment.len().min(self.n_fft);
+        let mut frame = scratch.take_real();
+        frame.extend_from_slice(&segment[..take]);
+        self.config.window.apply_in_place(&mut frame);
+
+        let plan = scratch.real_plan(self.n_fft)?;
+        let mut work = scratch.take_complex();
+        let mut spec = scratch.take_complex();
+        plan.forward_into(&frame, &mut work, &mut spec)?;
+
+        let n_bins = self.n_fft / 2 + 1;
+        let mut power = frame;
+        power.clear();
+        power.extend(
+            spec[..n_bins]
+                .iter()
+                .map(|z| z.norm_sqr() / self.n_fft as f64),
+        );
+        let mut mel_energies = scratch.take_real();
+        let applied = self.bank.apply_into_scalar(&power, &mut mel_energies);
+        scratch.put_complex(spec);
+        scratch.put_complex(work);
+        scratch.put_real(power);
+        if let Err(e) = applied {
+            scratch.put_real(mel_energies);
+            return Err(e);
+        }
+        for e in mel_energies.iter_mut() {
+            *e = e.max(LOG_FLOOR).ln();
+        }
+
         let nf = mel_energies.len() as f64;
         out.clear();
         for k in 0..self.config.n_coeffs {
@@ -295,6 +393,25 @@ mod tests {
         let c = ex.extract(&tone(18_000.0, 48_000.0, 512)).unwrap();
         assert_eq!(c.len(), 13);
         assert!(c.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn vectorized_extract_tracks_scalar_reference() {
+        let ex = MfccExtractor::new(MfccConfig::earsonar_default()).unwrap();
+        let mut scratch = DspScratch::new();
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        // Full frame (precomputed taps) and a short zero-padded frame
+        // (per-sample window fallback).
+        for n in [512usize, 300] {
+            let x = tone(18_000.0, 48_000.0, n);
+            ex.extract_into(&mut scratch, &x, &mut fast).unwrap();
+            ex.extract_into_scalar(&mut scratch, &x, &mut slow).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "n={n}: {f} vs {s}");
+            }
+        }
     }
 
     #[test]

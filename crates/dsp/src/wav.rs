@@ -114,19 +114,21 @@ pub fn read_wav(path: impl AsRef<Path>) -> Result<WavAudio, DspError> {
     parse_wav(&bytes)
 }
 
-/// Parses WAV content from memory (the core of [`read_wav`], separated for
-/// testing).
-///
-/// # Errors
-///
-/// Same conditions as [`read_wav`].
-pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
-    let bad = |constraint: &'static str| DspError::InvalidParameter {
+fn bad_wav(constraint: &'static str) -> DspError {
+    DspError::InvalidParameter {
         name: "wav",
         constraint,
-    };
+    }
+}
+
+/// The `fmt ` chunk fields: `(tag, channels, rate, bits)`.
+type WavFmt = (u16, u16, u32, u16);
+
+/// Scans the RIFF chunk list for the `fmt ` and `data` chunks, returning
+/// the format fields and the raw data bytes.
+fn scan_chunks(bytes: &[u8]) -> Result<(WavFmt, &[u8]), DspError> {
     if bytes.len() < 44 || &bytes[..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
-        return Err(bad("not a RIFF/WAVE file"));
+        return Err(bad_wav("not a RIFF/WAVE file"));
     }
     let mut pos = 12usize;
     let mut fmt: Option<(u16, u16, u32, u16)> = None; // tag, channels, rate, bits
@@ -164,11 +166,22 @@ pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
         // Chunks are word-aligned.
         pos = body_start + size + (size % 2);
     }
-    let (tag, channels, rate, bits) = fmt.ok_or(bad("missing fmt chunk"))?;
-    let data = data.ok_or(bad("missing data chunk"))?;
-    if channels == 0 {
-        return Err(bad("zero channels"));
+    let fmt = fmt.ok_or_else(|| bad_wav("missing fmt chunk"))?;
+    let data = data.ok_or_else(|| bad_wav("missing data chunk"))?;
+    if fmt.1 == 0 {
+        return Err(bad_wav("zero channels"));
     }
+    Ok((fmt, data))
+}
+
+/// Parses WAV content from memory (the core of [`read_wav`], separated for
+/// testing).
+///
+/// # Errors
+///
+/// Same conditions as [`read_wav`].
+pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
+    let ((tag, channels, rate, bits), data) = scan_chunks(bytes)?;
     let ch = channels as usize;
     let frames: Vec<f64> = match (tag, bits) {
         (1, 16) => data
@@ -179,7 +192,7 @@ pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
             .chunks_exact(4)
             .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64)
             .collect(),
-        _ => return Err(bad("unsupported format (need PCM16 or float32)")),
+        _ => return Err(bad_wav("unsupported format (need PCM16 or float32)")),
     };
     // Mix down to mono.
     let samples: Vec<f64> = frames
@@ -187,12 +200,93 @@ pub fn parse_wav(bytes: &[u8]) -> Result<WavAudio, DspError> {
         .map(|frame| frame.iter().sum::<f64>() / ch as f64)
         .collect();
     if samples.is_empty() {
-        return Err(bad("empty data chunk"));
+        return Err(bad_wav("empty data chunk"));
     }
     Ok(WavAudio {
         samples,
         sample_rate: rate,
     })
+}
+
+/// Parses WAV content from memory into a reused `f32` sample buffer
+/// (cleared and refilled), returning the sample rate. Decode and mono
+/// mixdown are fused into one pass over the data chunk — no intermediate
+/// per-frame `f64` vector, no per-sample reallocation (the buffer is
+/// reserved up front from the frame count).
+///
+/// `f32` is exactly wide enough for the wire formats: a PCM16 sample is
+/// `k / 32768` with `|k| <= 32768`, which `f32`'s 24-bit mantissa holds
+/// exactly, and float32 data is already `f32`. For mono files the output
+/// is therefore **bit-exact** against `parse_wav(bytes).samples[i] as
+/// f32`; multi-channel mixdowns average in `f64` exactly as [`parse_wav`]
+/// does before the final narrowing, so the identity holds for them too.
+///
+/// # Errors
+///
+/// Same conditions as [`read_wav`].
+// lint: hot-path
+pub fn parse_wav_f32_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<u32, DspError> {
+    let ((tag, channels, rate, bits), data) = scan_chunks(bytes)?;
+    let ch = channels as usize;
+    out.clear();
+    match (tag, bits) {
+        (1, 16) if ch == 1 => {
+            out.extend(
+                data.chunks_exact(2)
+                    .map(|b| i16::from_le_bytes([b[0], b[1]]) as f32 / 32_768.0),
+            );
+        }
+        (1, 16) => {
+            out.extend(data.chunks_exact(2 * ch).map(|frame| {
+                let mut sum = 0.0f64;
+                for b in frame.chunks_exact(2) {
+                    sum += i16::from_le_bytes([b[0], b[1]]) as f64 / 32_768.0;
+                }
+                (sum / ch as f64) as f32
+            }));
+        }
+        (3, 32) if ch == 1 => {
+            out.extend(
+                data.chunks_exact(4)
+                    .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            );
+        }
+        (3, 32) => {
+            out.extend(data.chunks_exact(4 * ch).map(|frame| {
+                let mut sum = 0.0f64;
+                for b in frame.chunks_exact(4) {
+                    sum += f32::from_le_bytes([b[0], b[1], b[2], b[3]]) as f64;
+                }
+                (sum / ch as f64) as f32
+            }));
+        }
+        _ => return Err(bad_wav("unsupported format (need PCM16 or float32)")),
+    }
+    if out.is_empty() {
+        return Err(bad_wav("empty data chunk"));
+    }
+    Ok(rate)
+}
+
+/// Reads a WAV file through [`parse_wav_f32_into`], reusing both the raw
+/// byte buffer and the sample buffer across calls.
+///
+/// # Errors
+///
+/// Same conditions as [`read_wav`].
+pub fn read_wav_f32_into(
+    path: impl AsRef<Path>,
+    bytes: &mut Vec<u8>,
+    out: &mut Vec<f32>,
+) -> Result<u32, DspError> {
+    bytes.clear();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(bytes))
+        .map_err(|_| DspError::InvalidParameter {
+            name: "path",
+            constraint: "could not open or read the WAV file",
+        })?;
+    parse_wav_f32_into(bytes, out)
 }
 
 #[cfg(test)]
@@ -278,6 +372,86 @@ mod tests {
         let audio = parse_wav(&bytes).unwrap();
         assert_eq!(audio.samples.len(), 2);
         assert!(audio.samples.iter().all(|&s| s.abs() < 1e-9));
+    }
+
+    fn pcm16_file(samples: &[i16], channels: u16, rate: u32) -> Vec<u8> {
+        let data_len = (samples.len() * 2) as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&(36 + data_len).to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&channels.to_le_bytes());
+        bytes.extend_from_slice(&rate.to_le_bytes());
+        bytes.extend_from_slice(&(rate * 2 * channels as u32).to_le_bytes());
+        bytes.extend_from_slice(&(2 * channels).to_le_bytes());
+        bytes.extend_from_slice(&16u16.to_le_bytes());
+        bytes.extend_from_slice(b"data");
+        bytes.extend_from_slice(&data_len.to_le_bytes());
+        for &s in samples {
+            bytes.extend_from_slice(&s.to_le_bytes());
+        }
+        bytes
+    }
+
+    #[test]
+    fn f32_decode_of_mono_pcm16_is_exact() {
+        // Every rail/denormal-adjacent corner plus a sweep: i16 / 32768
+        // fits f32's mantissa exactly, so decode must be lossless.
+        let vals: Vec<i16> = [i16::MIN, -32767, -1, 0, 1, 255, 256, 12_345, i16::MAX]
+            .into_iter()
+            .chain((0..300).map(|i| (i * 199 - 30_000) as i16))
+            .collect();
+        let bytes = pcm16_file(&vals, 1, 48_000);
+        let mut out = Vec::new();
+        assert_eq!(parse_wav_f32_into(&bytes, &mut out).unwrap(), 48_000);
+        assert_eq!(out.len(), vals.len());
+        for (&v, &f) in vals.iter().zip(&out) {
+            assert_eq!(f * 32_768.0, v as f32, "i16 {v}");
+        }
+    }
+
+    #[test]
+    fn f32_decode_matches_f64_parse_narrowed() {
+        // Mono PCM16, stereo PCM16, and mono float32 all narrow to the
+        // same f32 stream the f64 reference produces.
+        let vals: Vec<i16> = (0..240).map(|i| (i * 273 - 29_000) as i16).collect();
+        let mut out = Vec::new();
+        for ch in [1u16, 2] {
+            let bytes = pcm16_file(&vals, ch, 48_000);
+            let reference = parse_wav(&bytes).unwrap();
+            let rate = parse_wav_f32_into(&bytes, &mut out).unwrap();
+            assert_eq!(rate, reference.sample_rate);
+            assert_eq!(out.len(), reference.samples.len());
+            for (&f, &d) in out.iter().zip(&reference.samples) {
+                assert_eq!(f, d as f32, "ch={ch}");
+            }
+        }
+        // Float32 payload round-trips bit-for-bit.
+        let path = tmp("f32_into");
+        let audio = WavAudio {
+            samples: tone(101),
+            sample_rate: 44_100,
+        };
+        write_wav(&path, &audio, WavFormat::Float32).unwrap();
+        let mut bytes = Vec::new();
+        let rate = read_wav_f32_into(&path, &mut bytes, &mut out).unwrap();
+        assert_eq!(rate, 44_100);
+        let reference = parse_wav(&bytes).unwrap();
+        for (&f, &d) in out.iter().zip(&reference.samples) {
+            assert_eq!(f, d as f32);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn f32_decode_rejects_malformed_input() {
+        let mut out = Vec::new();
+        assert!(parse_wav_f32_into(b"not a wav", &mut out).is_err());
+        let empty = pcm16_file(&[], 1, 48_000);
+        assert!(parse_wav_f32_into(&empty, &mut out).is_err());
     }
 
     #[test]

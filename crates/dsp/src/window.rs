@@ -75,10 +75,28 @@ impl Window {
     }
 
     /// Multiplies `signal` by the window in place.
+    ///
+    /// This is the scalar reference path: it evaluates one cosine per
+    /// sample. Hot loops should precompute the taps once with
+    /// [`Window::coefficients_into`] and multiply with
+    /// [`apply_precomputed`] — bit-identical, but without the per-sample
+    /// transcendental.
     pub fn apply_in_place(self, signal: &mut [f64]) {
         let n = signal.len();
         for (i, s) in signal.iter_mut().enumerate() {
             *s *= self.coefficient(i, n);
+        }
+    }
+
+    /// Writes the `n` window coefficients into a caller-owned buffer
+    /// (cleared and refilled) — allocation-free once the buffer has grown.
+    /// Values are exactly those of [`Window::coefficients`].
+    pub fn coefficients_into(self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        match n {
+            0 => {}
+            1 => out.push(1.0),
+            _ => out.extend((0..n).map(|i| self.coefficient(i, n))),
         }
     }
 
@@ -101,9 +119,39 @@ impl Window {
     }
 }
 
+/// Multiplies `signal` by precomputed window taps (the four-lane
+/// elementwise kernel, [`crate::simd::mul_in_place`]).
+///
+/// With `taps` from [`Window::coefficients_into`] for `signal.len()`,
+/// this is **bit-identical** to [`Window::apply_in_place`]: the same
+/// coefficient values multiply the same samples, elementwise, with no
+/// reassociation. Pinned by `precomputed_apply_is_bit_identical` below
+/// and `tests/kernel_equivalence.rs`.
+// lint: hot-path
+#[inline]
+pub fn apply_precomputed(taps: &[f64], signal: &mut [f64]) {
+    crate::simd::mul_in_place(signal, taps);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn precomputed_apply_is_bit_identical() {
+        let mut taps = Vec::new();
+        for win in [Window::Hann, Window::Hamming, Window::Blackman, Window::Rectangular] {
+            for n in [1usize, 2, 3, 4, 5, 63, 64, 65, 240, 241] {
+                let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() * 2.0).collect();
+                let mut expect = x.clone();
+                win.apply_in_place(&mut expect);
+                win.coefficients_into(n, &mut taps);
+                let mut got = x;
+                apply_precomputed(&taps, &mut got);
+                assert_eq!(got, expect, "{win:?} n={n}");
+            }
+        }
+    }
 
     #[test]
     fn rectangular_is_all_ones() {

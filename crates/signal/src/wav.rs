@@ -7,7 +7,7 @@
 
 use crate::recording::{ChirpLayout, Recording};
 use crate::source::{SignalError, SignalSource};
-use earsonar_dsp::wav::read_wav;
+use earsonar_dsp::wav::{read_wav, read_wav_f32_into};
 use std::path::{Path, PathBuf};
 
 /// How far a file's sample rate may deviate from the layout's (hertz)
@@ -39,6 +39,41 @@ pub fn recording_from_wav(
     })
 }
 
+/// [`recording_from_wav`] through the fused i16→f32 decode path
+/// (`earsonar_dsp::wav::parse_wav_f32_into`), reusing `bytes` (raw file
+/// content) and `pcm` (decoded f32 samples) across calls — the only
+/// per-call allocation is the [`Recording`]'s own sample vector.
+///
+/// PCM16 decode is exactly lossless in f32 and the f32→f64 widening here
+/// is exact, so for mono files (either payload) the produced recording is
+/// **bit-identical** to [`recording_from_wav`]'s; multi-channel mixdowns
+/// pass through f32 and may differ from the all-f64 reference at the f32
+/// ulp.
+///
+/// # Errors
+///
+/// Same conditions as [`recording_from_wav`].
+// lint: hot-path
+pub fn recording_from_wav_buffered(
+    path: impl AsRef<Path>,
+    layout: &ChirpLayout,
+    bytes: &mut Vec<u8>,
+    pcm: &mut Vec<f32>,
+) -> Result<Recording, SignalError> {
+    let rate = read_wav_f32_into(path, bytes, pcm)?;
+    if (rate as f64 - layout.sample_rate).abs() > RATE_TOLERANCE_HZ {
+        return Err(SignalError::RateMismatch {
+            found: rate as f64,
+            expected: layout.sample_rate,
+        });
+    }
+    let mut samples = Vec::with_capacity(pcm.len());
+    samples.extend(pcm.iter().map(|&v| v as f64)); // exact widening
+    layout.frame(samples).ok_or(SignalError::BadLayout {
+        reason: "audio shorter than one chirp interval",
+    })
+}
+
 /// A [`SignalSource`] that walks a list of WAV files, yielding one
 /// recording per file.
 #[derive(Debug, Clone)]
@@ -46,6 +81,10 @@ pub struct WavSignalSource {
     layout: ChirpLayout,
     paths: Vec<PathBuf>,
     next: usize,
+    /// Reused raw-file buffer for the fused decode path.
+    bytes: Vec<u8>,
+    /// Reused decoded-f32 sample buffer.
+    pcm: Vec<f32>,
 }
 
 impl WavSignalSource {
@@ -55,6 +94,8 @@ impl WavSignalSource {
             layout,
             paths,
             next: 0,
+            bytes: Vec::new(),
+            pcm: Vec::new(),
         }
     }
 
@@ -78,7 +119,8 @@ impl SignalSource for WavSignalSource {
         };
         // Advance even on failure so one bad file doesn't wedge the queue.
         self.next += 1;
-        recording_from_wav(path, &self.layout).map(Some)
+        recording_from_wav_buffered(path, &self.layout, &mut self.bytes, &mut self.pcm)
+            .map(Some)
     }
 }
 
@@ -130,6 +172,32 @@ mod tests {
 
         let _ = std::fs::remove_file(a);
         let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn buffered_decode_matches_reference_for_mono_pcm16() {
+        let path = std::env::temp_dir().join("earsonar_signal_wav_pcm16.wav");
+        let samples: Vec<f64> = (0..750)
+            .map(|i| (2.0 * std::f64::consts::PI * 18_000.0 * i as f64 / 48_000.0).sin() * 0.7)
+            .collect();
+        write_wav(
+            &path,
+            &WavAudio {
+                samples,
+                sample_rate: 48_000,
+            },
+            WavFormat::Pcm16,
+        )
+        .unwrap();
+        let reference = recording_from_wav(&path, &layout()).unwrap();
+        let (mut bytes, mut pcm) = (Vec::new(), Vec::new());
+        let buffered =
+            recording_from_wav_buffered(&path, &layout(), &mut bytes, &mut pcm).unwrap();
+        assert_eq!(buffered, reference); // bit-identical, PCM16 is lossless in f32
+        // Buffers survive for the next capture.
+        let again = recording_from_wav_buffered(&path, &layout(), &mut bytes, &mut pcm).unwrap();
+        assert_eq!(again, reference);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! Schema validation for the unified benchmark report (`BENCH_pr6.json`).
+//!
+//! `cargo run -p xtask -- bench-schema` parses the report with a
+//! std-only JSON reader and checks the versioned shape that downstream
+//! consumers (the README table, CI artifacts) rely on: `schema_version`
+//! 1, the named kernel sections with their equivalence labels, and the
+//! end-to-end throughput block. CI runs this right after
+//! `perf_report --smoke`, so schema drift fails the build without ever
+//! asserting on timing values (which are noise on shared runners).
+
+use std::fmt;
+
+/// A parsed JSON value (just enough of the grammar for the report).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (how `json_num` spells a non-finite measurement).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escape sequences are accepted but kept verbatim).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object as insertion-ordered pairs (no hashing: determinism).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A schema violation or parse failure, with a JSON-pointer-ish path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError {
+    /// Where in the document, e.g. `kernels.filtfilt.speedup`.
+    pub path: String,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+fn err(path: &str, message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+// ---- minimal JSON parser ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), SchemaError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(
+                "parse",
+                format!("expected `{}` at byte {}", c as char, self.pos),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SchemaError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(err("parse", format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, SchemaError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(err("parse", format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, SchemaError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err("parse", "non-utf8 number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| err("parse", format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, SchemaError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // Keep the escape verbatim; the report never needs
+                    // unescaping for validation.
+                    out.push('\\');
+                    self.pos += 1;
+                    if let Some(c) = self.peek() {
+                        out.push(c as char);
+                        self.pos += 1;
+                    }
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err(err("parse", "unterminated string")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, SchemaError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(err("parse", format!("expected , or }} at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SchemaError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(err("parse", format!("expected , or ] at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] with path `parse` for malformed input.
+pub fn parse_json(text: &str) -> Result<Value, SchemaError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err("parse", format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+// ---- the BENCH_pr6 schema ----
+
+/// The kernel sections every report must carry, matching the
+/// `KernelRow` names in `perf_report`.
+pub const REQUIRED_KERNELS: &[&str] = &[
+    "filtfilt",
+    "window_multiply",
+    "correlation",
+    "mel_projection",
+    "mfcc",
+    "quality_scan",
+    "wav_decode",
+];
+
+fn want<'v>(
+    obj: &'v Value,
+    path: &str,
+    key: &str,
+    errors: &mut Vec<SchemaError>,
+) -> Option<&'v Value> {
+    let v = obj.get(key);
+    if v.is_none() {
+        errors.push(err(&format!("{path}.{key}"), "missing required key"));
+    }
+    v
+}
+
+/// A number, or `null` (how `json_num` renders a non-finite value).
+fn want_num(obj: &Value, path: &str, key: &str, errors: &mut Vec<SchemaError>) {
+    if let Some(v) = want(obj, path, key, errors) {
+        if !matches!(v, Value::Num(_) | Value::Null) {
+            errors.push(err(
+                &format!("{path}.{key}"),
+                format!("expected number, found {}", v.type_name()),
+            ));
+        }
+    }
+}
+
+fn want_bool(obj: &Value, path: &str, key: &str, errors: &mut Vec<SchemaError>) {
+    if let Some(v) = want(obj, path, key, errors) {
+        if !matches!(v, Value::Bool(_)) {
+            errors.push(err(
+                &format!("{path}.{key}"),
+                format!("expected bool, found {}", v.type_name()),
+            ));
+        }
+    }
+}
+
+fn check_sweep(v: &Value, path: &str, errors: &mut Vec<SchemaError>) {
+    let Value::Arr(rows) = v else {
+        errors.push(err(path, format!("expected array, found {}", v.type_name())));
+        return;
+    };
+    if rows.is_empty() {
+        errors.push(err(path, "worker sweep must not be empty"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let p = format!("{path}[{i}]");
+        want_num(row, &p, "workers", errors);
+        want_num(row, &p, "ns", errors);
+        want_num(row, &p, "speedup", errors);
+    }
+}
+
+/// Validates a `BENCH_pr6.json` document against schema version 1.
+///
+/// Checks shape and enumerations only — never timing magnitudes, which
+/// CI runners cannot reproduce. Returns every violation found, empty for
+/// a conforming report.
+pub fn validate(root: &Value) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    if !matches!(root, Value::Obj(_)) {
+        errors.push(err("$", "report must be a JSON object"));
+        return errors;
+    }
+
+    match want(root, "$", "schema_version", &mut errors) {
+        Some(Value::Num(v)) if *v == 1.0 => {}
+        Some(other) => errors.push(err(
+            "$.schema_version",
+            format!("expected 1, found {other:?}"),
+        )),
+        None => {}
+    }
+    match want(root, "$", "report", &mut errors) {
+        Some(Value::Str(s)) if s == "BENCH_pr6" => {}
+        Some(other) => errors.push(err(
+            "$.report",
+            format!("expected \"BENCH_pr6\", found {other:?}"),
+        )),
+        None => {}
+    }
+    match want(root, "$", "mode", &mut errors) {
+        Some(Value::Str(s)) if s == "full" || s == "smoke" => {}
+        Some(other) => errors.push(err(
+            "$.mode",
+            format!("expected \"full\" or \"smoke\", found {other:?}"),
+        )),
+        None => {}
+    }
+    match want(root, "$", "cores", &mut errors) {
+        Some(Value::Num(v)) if *v >= 1.0 => {}
+        Some(other) => errors.push(err("$.cores", format!("expected >= 1, found {other:?}"))),
+        None => {}
+    }
+    want_bool(root, "$", "low_core_host", &mut errors);
+
+    if let Some(kernels) = want(root, "$", "kernels", &mut errors) {
+        for &name in REQUIRED_KERNELS {
+            let path = format!("$.kernels.{name}");
+            let Some(k) = kernels.get(name) else {
+                errors.push(err(&path, "missing kernel section"));
+                continue;
+            };
+            want_num(k, &path, "n", &mut errors);
+            want_num(k, &path, "scalar_ns", &mut errors);
+            want_num(k, &path, "vectorized_ns", &mut errors);
+            want_num(k, &path, "speedup", &mut errors);
+            match want(k, &path, "equivalence", &mut errors) {
+                Some(Value::Str(s)) if s == "bit_identical" || s == "ulp_bounded" => {}
+                Some(other) => errors.push(err(
+                    &format!("{path}.equivalence"),
+                    format!("expected \"bit_identical\" or \"ulp_bounded\", found {other:?}"),
+                )),
+                None => {}
+            }
+        }
+    }
+
+    if let Some(fft) = want(root, "$", "fft", &mut errors) {
+        if let Value::Arr(rows) = fft {
+            for (i, row) in rows.iter().enumerate() {
+                let p = format!("$.fft[{i}]");
+                want_num(row, &p, "size", &mut errors);
+                want_num(row, &p, "one_shot_ns", &mut errors);
+                want_num(row, &p, "planned_ns", &mut errors);
+                want_num(row, &p, "speedup", &mut errors);
+            }
+        } else {
+            errors.push(err("$.fft", "expected array"));
+        }
+    }
+
+    if let Some(e2e) = want(root, "$", "end_to_end", &mut errors) {
+        let p = "$.end_to_end";
+        want_num(e2e, p, "recordings", &mut errors);
+        want_num(e2e, p, "chirps_total", &mut errors);
+        want_num(e2e, p, "front_end_ns", &mut errors);
+        want_num(e2e, p, "chirps_per_sec", &mut errors);
+        want_num(e2e, p, "screening_ns", &mut errors);
+        want_num(e2e, p, "screenings_per_sec", &mut errors);
+        want_num(e2e, p, "best_batch_speedup", &mut errors);
+        want_bool(e2e, p, "bit_identical", &mut errors);
+        if let Some(sweep) = want(e2e, p, "worker_sweep", &mut errors) {
+            check_sweep(sweep, "$.end_to_end.worker_sweep", &mut errors);
+        }
+    }
+
+    if let Some(synth) = want(root, "$", "synthesis", &mut errors) {
+        let p = "$.synthesis";
+        want_num(synth, p, "legacy_pre_pr_ns", &mut errors);
+        want_num(synth, p, "spectral_warm_ns", &mut errors);
+        want_num(synth, p, "speedup", &mut errors);
+        want_num(synth, p, "equivalence_max_rel_error", &mut errors);
+    }
+
+    if let Some(ds) = want(root, "$", "dataset_build", &mut errors) {
+        let p = "$.dataset_build";
+        want_num(ds, p, "sequential_ns", &mut errors);
+        want_bool(ds, p, "bit_identical", &mut errors);
+        if let Some(sweep) = want(ds, p, "sweep", &mut errors) {
+            check_sweep(sweep, "$.dataset_build.sweep", &mut errors);
+        }
+    }
+
+    if let Some(qg) = want(root, "$", "quality_gate", &mut errors) {
+        let p = "$.quality_gate";
+        want_num(qg, p, "gated_ns", &mut errors);
+        want_num(qg, p, "ungated_ns", &mut errors);
+        want_num(qg, p, "overhead_pct", &mut errors);
+        want_bool(qg, p, "bit_identical", &mut errors);
+    }
+
+    errors
+}
+
+/// Parses and validates a report file's text.
+///
+/// # Errors
+///
+/// Returns all violations (parse failure is reported as a single
+/// violation at path `parse`).
+pub fn check_report(text: &str) -> Result<(), Vec<SchemaError>> {
+    let root = parse_json(text).map_err(|e| vec![e])?;
+    let errors = validate(&root);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal conforming document (the shape `perf_report` writes).
+    fn conforming() -> String {
+        let kernels: String = REQUIRED_KERNELS
+            .iter()
+            .map(|k| {
+                format!(
+                    "\"{k}\": {{\"n\": 8, \"scalar_ns\": 2.0, \"vectorized_ns\": 1.0, \
+                     \"speedup\": 2.0, \"equivalence\": \"bit_identical\"}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            r#"{{
+  "schema_version": 1,
+  "report": "BENCH_pr6",
+  "mode": "smoke",
+  "cores": 1,
+  "low_core_host": true,
+  "kernels": {{{kernels}}},
+  "fft": [{{"size": 1024, "kind": "real", "one_shot_ns": 2.0, "planned_ns": 1.0, "speedup": 2.0}}],
+  "end_to_end": {{
+    "recordings": 8, "chirps_total": 1536, "front_end_ns": 10.0,
+    "chirps_per_sec": 100.0, "screening_ns": 12.0, "screenings_per_sec": 50.0,
+    "worker_sweep": [{{"workers": 1, "ns": 10.0, "speedup": 1.0}}],
+    "best_batch_speedup": 1.0, "bit_identical": true
+  }},
+  "synthesis": {{"legacy_pre_pr_ns": 2.0, "spectral_warm_ns": 1.0, "speedup": 2.0,
+    "equivalence_max_rel_error": 3e-15}},
+  "dataset_build": {{"sequential_ns": 5.0,
+    "sweep": [{{"workers": 1, "ns": 5.0, "speedup": 1.0}}], "bit_identical": true}},
+  "quality_gate": {{"gated_ns": 2.0, "ungated_ns": 1.9, "overhead_pct": 5.3,
+    "bit_identical": true}}
+}}"#
+        )
+    }
+
+    #[test]
+    fn conforming_document_passes() {
+        check_report(&conforming()).expect("conforming report validates");
+    }
+
+    #[test]
+    fn parser_handles_null_and_exponents() {
+        let v = parse_json(r#"{"a": null, "b": -1.5e-12, "c": [true, false]}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Null));
+        assert!(matches!(v.get("b"), Some(Value::Num(x)) if *x == -1.5e-12));
+        assert_eq!(
+            v.get("c"),
+            Some(&Value::Arr(vec![Value::Bool(true), Value::Bool(false)]))
+        );
+    }
+
+    #[test]
+    fn missing_kernel_section_is_reported() {
+        let doc = conforming().replace("\"mfcc\":", "\"mfcc_renamed\":");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.kernels.mfcc"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_schema_version_is_reported() {
+        let doc = conforming().replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.schema_version"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn bad_equivalence_label_is_reported() {
+        let doc = conforming().replacen("bit_identical\"}}", "close_enough\"}}", 1);
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path.ends_with(".equivalence")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_throughput_key_is_reported() {
+        let doc = conforming().replace("\"chirps_per_sec\"", "\"chirps_per_min\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path == "$.end_to_end.chirps_per_sec"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn null_timing_is_tolerated_but_wrong_type_is_not() {
+        // json_num renders non-finite as null; that's shape-conforming.
+        let doc = conforming().replace("\"front_end_ns\": 10.0", "\"front_end_ns\": null");
+        check_report(&doc).expect("null timings validate");
+        let doc = conforming().replace("\"front_end_ns\": 10.0", "\"front_end_ns\": \"fast\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.end_to_end.front_end_ns"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let errors = check_report("{\"schema_version\": 1,,}").unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].path, "parse");
+    }
+
+    #[test]
+    fn empty_worker_sweep_is_rejected() {
+        let doc = conforming().replace(
+            "\"worker_sweep\": [{\"workers\": 1, \"ns\": 10.0, \"speedup\": 1.0}]",
+            "\"worker_sweep\": []",
+        );
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path == "$.end_to_end.worker_sweep"),
+            "{errors:?}"
+        );
+    }
+}

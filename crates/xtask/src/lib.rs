@@ -1,8 +1,16 @@
 //! `xtask` — the workspace invariant checker.
 //!
-//! `cargo run -p xtask -- lint` enforces, on every source file and
-//! manifest of the workspace, the invariants the compiler cannot see but
-//! the reproduction's claims depend on:
+//! Two subcommands:
+//!
+//! * `cargo run -p xtask -- lint` enforces source/manifest invariants
+//!   (table below).
+//! * `cargo run -p xtask -- bench-schema [FILE]` validates the unified
+//!   benchmark report (`BENCH_pr6.json`) against its versioned schema —
+//!   shape and enumerations only, never timing magnitudes.
+//!
+//! `lint` enforces, on every source file and manifest of the workspace,
+//! the invariants the compiler cannot see but the reproduction's claims
+//! depend on:
 //!
 //! | rule                    | invariant |
 //! |-------------------------|-----------|
@@ -24,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_schema;
 pub mod lexer;
 pub mod lint;
 pub mod manifest;

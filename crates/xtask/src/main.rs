@@ -1,7 +1,11 @@
-//! Command-line entry point: `cargo run -p xtask -- lint [--root DIR]`.
+//! Command-line entry point:
+//! `cargo run -p xtask -- lint [--root DIR]` or
+//! `cargo run -p xtask -- bench-schema [--root DIR] [FILE]`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- <lint | bench-schema [FILE]> [--root DIR]";
 
 fn workspace_root() -> PathBuf {
     // When run via `cargo run -p xtask`, the manifest dir is
@@ -16,38 +20,8 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut root = workspace_root();
-    let mut cmd = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--root" => {
-                i += 1;
-                match args.get(i) {
-                    Some(dir) => root = PathBuf::from(dir),
-                    None => {
-                        eprintln!("--root needs a directory argument");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            "lint" if cmd.is_none() => cmd = Some("lint"),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
-                return ExitCode::from(2);
-            }
-        }
-        i += 1;
-    }
-    if cmd != Some("lint") {
-        eprintln!("usage: cargo run -p xtask -- lint [--root DIR]");
-        return ExitCode::from(2);
-    }
-
-    match xtask::lint::run(&root) {
+fn run_lint(root: &Path) -> ExitCode {
+    match xtask::lint::run(root) {
         Ok(report) => {
             for f in &report.findings {
                 println!("{f}");
@@ -68,6 +42,79 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_bench_schema(root: &Path, file: Option<&str>) -> ExitCode {
+    let path = match file {
+        Some(f) => PathBuf::from(f),
+        None => root.join("BENCH_pr6.json"),
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench-schema: read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::bench_schema::check_report(&text) {
+        Ok(()) => {
+            println!(
+                "xtask bench-schema OK: {} conforms to schema_version 1 \
+                 ({} kernel sections)",
+                path.display(),
+                xtask::bench_schema::REQUIRED_KERNELS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                println!("{}: {e}", path.display());
+            }
+            eprintln!("xtask bench-schema: {} violation(s)", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = workspace_root();
+    let mut cmd = None;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--root needs a directory argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "bench-schema" if cmd.is_none() => cmd = Some("bench-schema"),
+            other if cmd == Some("bench-schema") && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    match cmd {
+        Some("lint") => run_lint(&root),
+        Some("bench-schema") => run_bench_schema(&root, file.as_deref()),
+        _ => {
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,32 @@
+// Fixture: the four-lane SIMD kernel shape — `chunks_exact(4)` with an
+// array-of-lanes accumulator and a scalar remainder tail — inside a
+// hot-path function. Nothing here allocates; the lint must accept it.
+
+// lint: hot-path
+pub fn sum_four_lane(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = x.chunks_exact(4);
+    let rem = chunks.remainder();
+    for c in chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let mut tail = 0.0;
+    for &v in rem {
+        tail += v;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+// lint: hot-path
+pub fn kernel_into_reused_buffer(x: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(x.len());
+    out.extend(x.iter().map(|v| v * v));
+}
+
+pub fn cold_builds_the_buffers() -> Vec<f64> {
+    vec![0.0; 64]
+}

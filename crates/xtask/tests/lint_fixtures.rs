@@ -128,3 +128,13 @@ fn layering_ok_workspace_passes_the_full_run() {
     assert!(report.is_clean(), "{:?}", report.findings);
     assert_eq!(report.crates_scanned, 2);
 }
+
+#[test]
+fn simd_remainder_tail_pattern_is_clean_in_hot_paths() {
+    // The four-lane kernel idiom (`chunks_exact(4)` + lane array +
+    // scalar remainder, and `clear`/`reserve`/`extend` buffer reuse)
+    // must pass the hot-path allocation rule untouched.
+    let (f, s) = scan("simd_tail_ok.rs");
+    assert!(f.is_empty(), "{f:?}");
+    assert_eq!(s.hot_functions, 2);
+}

@@ -30,6 +30,12 @@ echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> perf_report smoke run"
+# Asserts every scalar-vs-vectorized equivalence contract (bit-identity
+# or the documented ulp bound) before timing anything; timings themselves
+# are never asserted — CI runners can't reproduce them.
 cargo run --release -p earsonar-bench --bin perf_report -- --smoke
+
+echo "==> bench-schema: BENCH_pr6.json conforms to schema_version 1"
+cargo run -p xtask -- bench-schema
 
 echo "All checks passed."
