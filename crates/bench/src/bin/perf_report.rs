@@ -1,7 +1,8 @@
 //! Unified performance report: every scalar-vs-vectorized kernel pair
-//! from the SIMD pass, the planned-FFT comparison, and the end-to-end
-//! throughput story (chirps/sec, screenings/sec, worker sweep), written
-//! as one versioned JSON document, `BENCH_pr6.json`.
+//! from the SIMD pass, the planned-FFT comparison, the end-to-end
+//! throughput story (chirps/sec, screenings/sec, worker sweep), and the
+//! session-engine load sweep (sessions/sec, p50/p99 latency), written as
+//! one versioned JSON document, `BENCH_pr7.json`.
 //!
 //! Every kernel row verifies its equivalence contract **before** timing:
 //! `bit_identical` rows are `assert_eq!`-checked, `ulp_bounded` rows are
@@ -12,7 +13,7 @@
 //! a ~1.0x parallel "speedup" reflects the hardware, not the
 //! implementation — single-core kernel speedups are the portable story.
 //!
-//! The JSON schema (`schema_version` 1) is documented in DESIGN.md and
+//! The JSON schema (`schema_version` 2) is documented in DESIGN.md and
 //! validated by `cargo run -p xtask -- bench-schema`; CI runs the
 //! `--smoke` mode (or set `EARSONAR_BENCH_SMOKE`), which performs all
 //! equivalence checks with reduced timing budgets.
@@ -23,6 +24,7 @@ use earsonar::batch::default_workers;
 use earsonar::pipeline::{EarSonar, FrontEnd};
 use earsonar::quality::{measure_window, measure_window_scalar, NoiseFloor};
 use earsonar::EarSonarConfig;
+use earsonar_bench::engine_load::{engine_section_json, run_load, LoadSpec};
 use earsonar_bench::standard_dataset;
 use earsonar_bench::timing::{json_num, Bencher, Measurement};
 use earsonar_dsp::complex::Complex64;
@@ -631,11 +633,47 @@ fn main() {
     let gate_overhead_pct = (gated_m.ns_per_iter / ungated_m.ns_per_iter - 1.0) * 100.0;
     println!("quality-gate overhead: {gate_overhead_pct:+.1}% on clean input");
 
+    // ---- session-engine load: interleaved concurrent streams ----
+
+    println!("\n== session engine: interleaved load sweep ==");
+    let engine_spec = LoadSpec {
+        sessions: if smoke { 64 } else { 256 },
+        chunk_len: 997,
+        seed: 7,
+        drain_every: 64,
+        ..LoadSpec::default()
+    };
+    let mut engine_reports = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let r = run_load(
+            &system,
+            &recordings,
+            &LoadSpec {
+                workers,
+                ..engine_spec
+            },
+        );
+        println!(
+            "  {workers} worker(s): {:8.1} sessions/sec  p50 {:7.2} ms  p99 {:7.2} ms  \
+             peak in-flight {}",
+            r.sessions_per_sec, r.p50_ms, r.p99_ms, r.peak_in_flight
+        );
+        assert!(
+            r.equivalent_to_sequential,
+            "engine verdicts diverged from sequential screening at {workers} workers"
+        );
+        engine_reports.push(r);
+    }
+    println!(
+        "bit-identity: engine == sequential screening across {} sessions x 1/2/4 workers",
+        engine_spec.sessions
+    );
+
     // ---- the unified report (hand-rolled JSON: no serde in budget) ----
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema_version\": 1,");
-    let _ = writeln!(json, "  \"report\": \"BENCH_pr6\",");
+    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"report\": \"BENCH_pr7\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"low_core_host\": {low_core},");
@@ -743,9 +781,14 @@ fn main() {
     );
     let _ = writeln!(json, "    \"clean_rejections\": 0,");
     let _ = writeln!(json, "    \"bit_identical\": true");
-    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"engine\": {}",
+        engine_section_json(&engine_spec, &engine_reports)
+    );
     json.push_str("}\n");
-    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
 
-    println!("\nwrote BENCH_pr6.json (schema_version 1)");
+    println!("\nwrote BENCH_pr7.json (schema_version 2)");
 }

@@ -44,10 +44,13 @@ USAGE:
       --min-chirps N, stop pushing as soon as N chirps have produced
       usable echoes. --quorum N sets how many quality-accepted,
       echo-yielding chirps a recording needs for a conclusive verdict.
-  earsonar screen-wav --model FILE [--quorum N] WAV [WAV...]
+  earsonar screen-wav --model FILE [--quorum N] [--workers N] WAV [WAV...]
       Screen a WAV queue through the SignalSource capture interface (the
       same code path a live capture backend would use), with a per-cause
-      summary of skipped captures at the end.
+      summary of skipped captures at the end. With --workers N, all files
+      are multiplexed through the concurrent session engine and drained
+      by N worker threads; verdicts and exit codes are identical to the
+      sequential path (--min-chirps early stop does not apply there).
   earsonar eval     [--patients N] [--seed S]
       Leave-one-participant-out evaluation on a simulated cohort.
   earsonar inspect  --model FILE WAV [WAV...]
@@ -65,6 +68,7 @@ struct Args {
     model: Option<PathBuf>,
     min_chirps: Option<usize>,
     quorum: Option<usize>,
+    workers: Option<usize>,
     files: Vec<PathBuf>,
 }
 
@@ -91,6 +95,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         model: None,
         min_chirps: None,
         quorum: None,
+        workers: None,
         files: Vec::new(),
     };
     let mut rest: Vec<String> = argv.collect();
@@ -136,6 +141,17 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--quorum needs a number")?,
                 );
+            }
+            "--workers" => {
+                i += 1;
+                let n: usize = rest
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers needs a number")?;
+                if n == 0 {
+                    return Err("--workers needs at least 1".into());
+                }
+                args.workers = Some(n);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
@@ -381,6 +397,113 @@ fn cmd_screen(args: &Args) -> Result<bool, String> {
     Ok(inconclusive == 0)
 }
 
+/// Routes every captured WAV through the concurrent session engine: one
+/// session per file, samples pushed round-robin in chirp-hop chunks so the
+/// streams genuinely interleave, drained by `workers` threads. Verdicts
+/// are bit-identical to the sequential path (the engine's contract), so
+/// the exit-code semantics are unchanged.
+fn screen_wav_concurrent(
+    system: &EarSonar,
+    layout: ChirpLayout,
+    policy: &RetryPolicy,
+    files: &[PathBuf],
+    workers: usize,
+) -> Result<bool, String> {
+    use earsonar_engine::{EngineConfig, Rejected, ScreeningEngine, SessionId};
+
+    // Capture the whole queue first, counting failures per cause exactly
+    // like the sequential drain loop.
+    let mut source = WavSignalSource::new(layout, files.to_vec());
+    let mut captures = CaptureDiagnostics::default();
+    let mut labeled: Vec<(String, Option<Recording>)> = Vec::new();
+    loop {
+        let label = source
+            .next_path()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| source.describe());
+        captures.attempted += 1;
+        match source.capture() {
+            Ok(None) => {
+                captures.attempted -= 1;
+                break;
+            }
+            Ok(Some(rec)) => {
+                captures.succeeded += 1;
+                labeled.push((label, Some(rec)));
+            }
+            Err(e) => {
+                captures.record_failure(&e);
+                println!("{label}\terror: {e}");
+                labeled.push((label, None));
+            }
+        }
+    }
+
+    let config = EngineConfig {
+        max_sessions: labeled.len().max(1),
+        policy: *policy,
+        ..EngineConfig::default()
+    };
+    let engine = ScreeningEngine::new(system, config);
+    let mut streaming: Vec<bool> = Vec::with_capacity(labeled.len());
+    for (i, (label, rec)) in labeled.iter().enumerate() {
+        if rec.is_some() {
+            engine
+                .open(SessionId(i as u64))
+                .map_err(|e| format!("{label}: opening engine session: {e}"))?;
+        }
+        streaming.push(rec.is_some());
+    }
+
+    // Round-robin pump: one hop-sized chunk per open session per pass; a
+    // full queue is backpressure, drained and retried on the next pass.
+    let hop = layout.chirp_hop.max(1);
+    let mut cursor = vec![0usize; labeled.len()];
+    let mut in_progress = streaming.iter().filter(|&&s| s).count();
+    while in_progress > 0 {
+        for (i, (label, rec)) in labeled.iter().enumerate() {
+            let Some(rec) = rec.as_ref().filter(|_| streaming[i]) else {
+                continue;
+            };
+            let lo = cursor[i] * hop;
+            if lo >= rec.samples.len() {
+                engine
+                    .close(SessionId(i as u64))
+                    .map_err(|e| format!("{label}: closing engine session: {e}"))?;
+                streaming[i] = false;
+                in_progress -= 1;
+                continue;
+            }
+            let hi = (lo + hop).min(rec.samples.len());
+            match engine.push(SessionId(i as u64), &rec.samples[lo..hi]) {
+                Ok(()) => cursor[i] += 1,
+                Err(Rejected::QueueFull { .. }) => {
+                    engine.drain(workers);
+                }
+                Err(e) => return Err(format!("{label}: engine push: {e}")),
+            }
+        }
+    }
+    engine.drain(workers);
+
+    // `take_completed` returns sessions sorted by id, i.e. file order.
+    let mut inconclusive = 0usize;
+    for done in engine.take_completed() {
+        let (label, _) = &labeled[done.id.0 as usize];
+        match &done.outcome {
+            Ok(outcome) => {
+                if !outcome.is_conclusive() {
+                    inconclusive += 1;
+                }
+                println!("{label}\t{}", outcome_line(outcome));
+            }
+            Err(e) => println!("{label}\terror: {e}"),
+        }
+    }
+    println!("captures: {}", captures.summary());
+    Ok(inconclusive == 0)
+}
+
 fn cmd_screen_wav(args: &Args) -> Result<bool, String> {
     let model_path = args
         .model
@@ -392,6 +515,9 @@ fn cmd_screen_wav(args: &Args) -> Result<bool, String> {
     let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
     let layout = chirp_layout(system.front_end().config());
     let policy = args.policy();
+    if let Some(workers) = args.workers {
+        return screen_wav_concurrent(&system, layout, &policy, &args.files, workers);
+    }
     let mut source = WavSignalSource::new(layout, args.files.clone());
     let mut captures = CaptureDiagnostics::default();
     let mut inconclusive = 0usize;

@@ -40,6 +40,19 @@ impl Diagnostics {
         }
         self.spectra_computed as f64 / self.chirps_pushed as f64
     }
+
+    /// Adds another session's counters into this aggregate. Used by the
+    /// multi-session engine to report fleet-level stage health (how many
+    /// chirps the gate dropped across *all* concurrent streams) without
+    /// holding per-session state after a session resolves.
+    pub fn merge(&mut self, other: &Diagnostics) {
+        self.chirps_pushed += other.chirps_pushed;
+        self.quality_rejections.merge(&other.quality_rejections);
+        self.filter_failures += other.filter_failures;
+        self.events_detected += other.events_detected;
+        self.irs_estimated += other.irs_estimated;
+        self.spectra_computed += other.spectra_computed;
+    }
 }
 
 /// Counters over a capture queue: how many captures a screening run
@@ -78,6 +91,18 @@ impl CaptureDiagnostics {
             SignalError::BadLayout { .. } => self.layout_failures += 1,
             _ => self.source_failures += 1,
         }
+    }
+
+    /// Adds another run's capture counters into this aggregate, so a
+    /// multi-source screening pass (one source per concurrent session)
+    /// reports one combined attempted/succeeded/skipped line.
+    pub fn merge(&mut self, other: &CaptureDiagnostics) {
+        self.attempted += other.attempted;
+        self.succeeded += other.succeeded;
+        self.decode_failures += other.decode_failures;
+        self.rate_mismatches += other.rate_mismatches;
+        self.layout_failures += other.layout_failures;
+        self.source_failures += other.source_failures;
     }
 
     /// One-line summary for CLI output, e.g.
@@ -265,6 +290,48 @@ mod tests {
         assert!(downsample_for_display(&[], 10).is_empty());
         assert!(downsample_for_display(&[1.0], 0).is_empty());
         assert_eq!(downsample_for_display(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = Diagnostics {
+            chirps_pushed: 10,
+            filter_failures: 1,
+            events_detected: 8,
+            irs_estimated: 7,
+            spectra_computed: 6,
+            ..Diagnostics::default()
+        };
+        a.quality_rejections.clipping = 2;
+        let mut b = Diagnostics {
+            chirps_pushed: 5,
+            irs_estimated: 4,
+            ..Diagnostics::default()
+        };
+        b.quality_rejections.dropout = 1;
+        a.merge(&b);
+        assert_eq!(a.chirps_pushed, 15);
+        assert_eq!(a.irs_estimated, 11);
+        assert_eq!(a.quality_rejections.clipping, 2);
+        assert_eq!(a.quality_rejections.dropout, 1);
+        assert_eq!(a.quality_rejections.total(), 3);
+
+        let mut c = CaptureDiagnostics {
+            attempted: 3,
+            succeeded: 2,
+            decode_failures: 1,
+            ..CaptureDiagnostics::default()
+        };
+        let d = CaptureDiagnostics {
+            attempted: 2,
+            succeeded: 1,
+            source_failures: 1,
+            ..CaptureDiagnostics::default()
+        };
+        c.merge(&d);
+        assert_eq!(c.attempted, 5);
+        assert_eq!(c.succeeded, 3);
+        assert_eq!(c.failed(), 2);
     }
 
     #[test]

@@ -210,6 +210,16 @@ impl QualityRejections {
         self.total() == 0
     }
 
+    /// Adds another session's rejection counters into this aggregate
+    /// (cause by cause), for fleet-level diagnostics.
+    pub fn merge(&mut self, other: &QualityRejections) {
+        self.clipping += other.clipping;
+        self.dropout += other.dropout;
+        self.low_snr += other.low_snr;
+        self.low_correlation += other.low_correlation;
+        self.dc_offset += other.dc_offset;
+    }
+
     /// Compact per-cause listing for reports, e.g. `2 clipping, 1 low-snr`;
     /// empty when nothing was rejected.
     pub fn summary(&self) -> String {

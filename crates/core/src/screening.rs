@@ -11,7 +11,8 @@ use crate::diagnostics::CaptureDiagnostics;
 use crate::error::EarSonarError;
 use crate::pipeline::EarSonar;
 use crate::quality::SessionQuality;
-use crate::streaming::StreamingFrontEnd;
+use crate::streaming::{ChirpStream, StreamingFrontEnd};
+use earsonar_dsp::plan::DspScratch;
 use earsonar_signal::effusion::MeeState;
 use earsonar_signal::recording::Recording;
 use earsonar_signal::source::SignalSource;
@@ -183,9 +184,34 @@ pub fn screen_recording_quality(
     recording: &Recording,
     policy: &RetryPolicy,
 ) -> Result<ScreeningOutcome, EarSonarError> {
-    let quorum = policy.min_accepted_chirps.max(1);
     let mut stream = StreamingFrontEnd::new(system.front_end());
     stream.push_samples(&recording.samples)?;
+    let (stream, mut scratch) = stream.into_parts();
+    resolve_stream(system, &mut scratch, stream, policy)
+}
+
+/// Resolves a fully fed [`ChirpStream`] into a screening outcome: quorum
+/// check, finalize, confidence floor, classify. This is the single
+/// decision sequence behind every screening surface — the sequential
+/// [`screen_recording_quality`] path and the concurrent session engine
+/// both end here, so their verdicts agree by construction, not by test
+/// alone.
+///
+/// The `stream` must have been fed through the same `system`'s front end;
+/// `scratch` may be any scratch (it is a pure buffer pool and never
+/// changes an output bit).
+///
+/// # Errors
+///
+/// Propagates pipeline errors other than the expected no-echo case,
+/// which maps to a typed [`ScreeningOutcome::Inconclusive`].
+pub fn resolve_stream(
+    system: &EarSonar,
+    scratch: &mut DspScratch,
+    stream: ChirpStream,
+    policy: &RetryPolicy,
+) -> Result<ScreeningOutcome, EarSonarError> {
+    let quorum = policy.min_accepted_chirps.max(1);
     let quality = stream.quality();
     let usable = stream.chirps_used();
     if usable < quorum {
@@ -199,7 +225,7 @@ pub fn screen_recording_quality(
             captures: CaptureDiagnostics::default(),
         }));
     }
-    let processed = match stream.finish() {
+    let processed = match stream.finish_with(system.front_end(), scratch) {
         Ok(p) => p,
         Err(EarSonarError::NoEchoDetected) => {
             return Ok(ScreeningOutcome::Inconclusive(InconclusiveReport {

@@ -23,6 +23,158 @@ use earsonar_dsp::plan::DspScratch;
 use earsonar_signal::recording::Recording;
 use earsonar_signal::source::SignalSource;
 
+/// The per-session half of a streaming front end: the chirp accumulator
+/// plus the partial-window reassembly buffer, with the shared [`FrontEnd`]
+/// and [`DspScratch`] passed in at every call.
+///
+/// [`StreamingFrontEnd`] bundles one of these with its own scratch for the
+/// common single-session case. A multiplexer holding thousands of open
+/// sessions keeps one `ChirpStream` per session (a few kilobytes of
+/// accumulated state) and lends each processing worker a single warm
+/// scratch instead — the scratch is a pure buffer pool, so which one is
+/// used never changes a single output bit.
+///
+/// Every `*_with` call must receive the same `front_end` the stream was
+/// created from: the hop length and gate thresholds are baked into the
+/// accumulated state, and mixing front ends would silently blend two
+/// configurations.
+#[derive(Debug)]
+pub struct ChirpStream {
+    acc: ChirpAccumulator,
+    /// Samples of the partially received current chirp window.
+    buffer: Vec<f64>,
+    hop: usize,
+}
+
+impl ChirpStream {
+    /// Starts session state for a stream over `front_end`, expecting chirp
+    /// windows of the configured hop length.
+    pub fn new(front_end: &FrontEnd) -> Self {
+        let hop = front_end.config().chirp_hop.max(1);
+        ChirpStream {
+            acc: ChirpAccumulator::default(),
+            buffer: Vec::with_capacity(hop),
+            hop,
+        }
+    }
+
+    /// The chirp-window length the stream consumes, in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Pushes one whole chirp window and runs the per-chirp stages on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::BadRecording`] if the stream holds a
+    /// partially received window (mixing [`ChirpStream::push_samples_with`]
+    /// chunks with whole-window pushes at a misaligned point would silently
+    /// shear every later chirp off the transmit grid).
+    // lint: hot-path
+    pub fn push_chirp_with(
+        &mut self,
+        front_end: &FrontEnd,
+        scratch: &mut DspScratch,
+        window: &[f64],
+    ) -> Result<ChirpOutcome, EarSonarError> {
+        if !self.buffer.is_empty() {
+            return Err(EarSonarError::BadRecording {
+                reason: "push_chirp on a stream holding a partial chirp window",
+            });
+        }
+        Ok(front_end.push_window(scratch, &mut self.acc, window))
+    }
+
+    /// Pushes an arbitrary chunk of the sample stream, processing every
+    /// chirp window it completes. Returns how many windows completed.
+    ///
+    /// Chunk boundaries are irrelevant to the result: any partition of the
+    /// same sample stream yields the same state, because windows are only
+    /// processed once `hop` samples are in.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (per-chirp failures are recorded
+    /// as diagnostics, not raised); the `Result` keeps room for backends
+    /// that validate sample chunks.
+    // lint: hot-path
+    pub fn push_samples_with(
+        &mut self,
+        front_end: &FrontEnd,
+        scratch: &mut DspScratch,
+        chunk: &[f64],
+    ) -> Result<usize, EarSonarError> {
+        self.buffer.extend_from_slice(chunk);
+        let mut completed = 0;
+        let mut start = 0;
+        while self.buffer.len() - start >= self.hop {
+            // Split borrows: the window lives in `buffer` while the front
+            // end mutates only scratch and accumulator.
+            let window = &self.buffer[start..start + self.hop];
+            let _ = front_end.push_window(scratch, &mut self.acc, window);
+            start += self.hop;
+            completed += 1;
+        }
+        if start > 0 {
+            self.buffer.drain(..start);
+        }
+        Ok(completed)
+    }
+
+    /// Chirp windows pushed so far (complete windows only).
+    pub fn chirps_pushed(&self) -> usize {
+        self.acc.diagnostics.chirps_pushed
+    }
+
+    /// Chirps that survived to an impulse response so far.
+    pub fn chirps_used(&self) -> usize {
+        self.acc.diagnostics.irs_estimated
+    }
+
+    /// Per-stage counters accumulated so far.
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.acc.diagnostics
+    }
+
+    /// Samples buffered toward the next (incomplete) chirp window.
+    pub fn buffered_samples(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Session-level signal quality over everything pushed so far.
+    pub fn quality(&self) -> SessionQuality {
+        self.acc.session_quality()
+    }
+
+    /// Returns `true` once at least `min_chirps` chirps have produced
+    /// impulse responses.
+    pub fn ready(&self, min_chirps: usize) -> bool {
+        self.chirps_used() >= min_chirps.max(1)
+    }
+
+    /// Runs the recording-level stages over everything pushed so far and
+    /// returns the processed recording. A trailing partial window (fewer
+    /// than `hop` buffered samples) is pushed first, exactly as the batch
+    /// path processes a short final chirp window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::NoEchoDetected`] if no pushed chirp
+    /// yielded a usable echo.
+    pub fn finish_with(
+        mut self,
+        front_end: &FrontEnd,
+        scratch: &mut DspScratch,
+    ) -> Result<ProcessedRecording, EarSonarError> {
+        if !self.buffer.is_empty() {
+            let tail = std::mem::take(&mut self.buffer);
+            let _ = front_end.push_window(scratch, &mut self.acc, &tail);
+        }
+        front_end.finalize(scratch, self.acc)
+    }
+}
+
 /// A front end fed one chirp (or one capture buffer) at a time.
 ///
 /// # Example
@@ -48,29 +200,23 @@ use earsonar_signal::source::SignalSource;
 pub struct StreamingFrontEnd<'a> {
     front_end: &'a FrontEnd,
     scratch: DspScratch,
-    acc: ChirpAccumulator,
-    /// Samples of the partially received current chirp window.
-    buffer: Vec<f64>,
-    hop: usize,
+    stream: ChirpStream,
 }
 
 impl<'a> StreamingFrontEnd<'a> {
     /// Starts a stream over `front_end`, expecting chirp windows of the
     /// configured hop length.
     pub fn new(front_end: &'a FrontEnd) -> Self {
-        let hop = front_end.config().chirp_hop.max(1);
         StreamingFrontEnd {
             front_end,
             scratch: DspScratch::new(),
-            acc: ChirpAccumulator::default(),
-            buffer: Vec::with_capacity(hop),
-            hop,
+            stream: ChirpStream::new(front_end),
         }
     }
 
     /// The chirp-window length the stream consumes, in samples.
     pub fn hop(&self) -> usize {
-        self.hop
+        self.stream.hop()
     }
 
     /// Pushes one whole chirp window and runs the per-chirp stages on it.
@@ -78,67 +224,43 @@ impl<'a> StreamingFrontEnd<'a> {
     /// # Errors
     ///
     /// Returns [`EarSonarError::BadRecording`] if the stream holds a
-    /// partially received window (mixing [`StreamingFrontEnd::push_samples`]
-    /// chunks with whole-window pushes at a misaligned point would silently
-    /// shear every later chirp off the transmit grid).
+    /// partially received window (see [`ChirpStream::push_chirp_with`]).
     // lint: hot-path
     pub fn push_chirp(&mut self, window: &[f64]) -> Result<ChirpOutcome, EarSonarError> {
-        if !self.buffer.is_empty() {
-            return Err(EarSonarError::BadRecording {
-                reason: "push_chirp on a stream holding a partial chirp window",
-            });
-        }
-        Ok(self
-            .front_end
-            .push_window(&mut self.scratch, &mut self.acc, window))
+        self.stream
+            .push_chirp_with(self.front_end, &mut self.scratch, window)
     }
 
     /// Pushes an arbitrary chunk of the sample stream, processing every
     /// chirp window it completes. Returns how many windows completed.
     ///
     /// Chunk boundaries are irrelevant to the result: any partition of the
-    /// same sample stream yields the same state, because windows are only
-    /// processed once `hop` samples are in.
+    /// same sample stream yields the same state (see
+    /// [`ChirpStream::push_samples_with`]).
     ///
     /// # Errors
     ///
     /// Currently infallible in practice (per-chirp failures are recorded
-    /// as diagnostics, not raised); the `Result` keeps room for backends
-    /// that validate sample chunks.
+    /// as diagnostics, not raised).
     // lint: hot-path
     pub fn push_samples(&mut self, chunk: &[f64]) -> Result<usize, EarSonarError> {
-        self.buffer.extend_from_slice(chunk);
-        let mut completed = 0;
-        let mut start = 0;
-        while self.buffer.len() - start >= self.hop {
-            // Split borrows: the window lives in `buffer` while the front
-            // end mutates only scratch and accumulator.
-            let window = &self.buffer[start..start + self.hop];
-            let _ = self
-                .front_end
-                .push_window(&mut self.scratch, &mut self.acc, window);
-            start += self.hop;
-            completed += 1;
-        }
-        if start > 0 {
-            self.buffer.drain(..start);
-        }
-        Ok(completed)
+        self.stream
+            .push_samples_with(self.front_end, &mut self.scratch, chunk)
     }
 
     /// Chirp windows pushed so far (complete windows only).
     pub fn chirps_pushed(&self) -> usize {
-        self.acc.diagnostics.chirps_pushed
+        self.stream.chirps_pushed()
     }
 
     /// Chirps that survived to an impulse response so far.
     pub fn chirps_used(&self) -> usize {
-        self.acc.diagnostics.irs_estimated
+        self.stream.chirps_used()
     }
 
     /// Per-stage counters accumulated so far.
     pub fn diagnostics(&self) -> Diagnostics {
-        self.acc.diagnostics
+        self.stream.diagnostics()
     }
 
     /// Session-level signal quality over everything pushed so far:
@@ -146,7 +268,7 @@ impl<'a> StreamingFrontEnd<'a> {
     /// derived confidence. Available before [`StreamingFrontEnd::finish`],
     /// so a caller can abort or re-measure a session that is going badly.
     pub fn quality(&self) -> SessionQuality {
-        self.acc.session_quality()
+        self.stream.quality()
     }
 
     /// Returns `true` once at least `min_chirps` chirps have produced
@@ -154,7 +276,14 @@ impl<'a> StreamingFrontEnd<'a> {
     /// pushing and call [`StreamingFrontEnd::finish`] without waiting for
     /// the rest of the capture.
     pub fn ready(&self, min_chirps: usize) -> bool {
-        self.chirps_used() >= min_chirps.max(1)
+        self.stream.ready(min_chirps)
+    }
+
+    /// Splits the wrapper into its session state and scratch, so a caller
+    /// can continue through the scratch-external [`ChirpStream`] API (for
+    /// example to hand the pieces to [`crate::screening::resolve_stream`]).
+    pub fn into_parts(self) -> (ChirpStream, DspScratch) {
+        (self.stream, self.scratch)
     }
 
     /// Runs the recording-level stages over everything pushed so far and
@@ -167,13 +296,7 @@ impl<'a> StreamingFrontEnd<'a> {
     /// Returns [`EarSonarError::NoEchoDetected`] if no pushed chirp
     /// yielded a usable echo.
     pub fn finish(mut self) -> Result<ProcessedRecording, EarSonarError> {
-        if !self.buffer.is_empty() {
-            let tail = std::mem::take(&mut self.buffer);
-            let _ = self
-                .front_end
-                .push_window(&mut self.scratch, &mut self.acc, &tail);
-        }
-        self.front_end.finalize(&mut self.scratch, self.acc)
+        self.stream.finish_with(self.front_end, &mut self.scratch)
     }
 }
 
@@ -226,6 +349,29 @@ mod tests {
         assert_eq!(streamed.features, batch.features);
         assert_eq!(streamed.chirps_used, batch.chirps_used);
         assert_eq!(streamed.diagnostics, batch.diagnostics);
+    }
+
+    #[test]
+    fn external_scratch_stream_matches_wrapper() {
+        // ChirpStream with a borrowed scratch is the multiplexer's path;
+        // it must be bit-identical to the owning wrapper.
+        let fe = FrontEnd::new(&EarSonarConfig::default()).unwrap();
+        let rec = recording();
+
+        let mut wrapper = StreamingFrontEnd::new(&fe);
+        wrapper.push_samples(&rec.samples).unwrap();
+        let via_wrapper = wrapper.finish().unwrap();
+
+        let mut scratch = DspScratch::new();
+        let mut stream = ChirpStream::new(&fe);
+        for chunk in rec.samples.chunks(737) {
+            stream.push_samples_with(&fe, &mut scratch, chunk).unwrap();
+        }
+        let via_stream = stream.finish_with(&fe, &mut scratch).unwrap();
+
+        assert_eq!(via_stream.features, via_wrapper.features);
+        assert_eq!(via_stream.diagnostics, via_wrapper.diagnostics);
+        assert_eq!(via_stream.quality, via_wrapper.quality);
     }
 
     #[test]

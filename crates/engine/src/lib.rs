@@ -1,0 +1,63 @@
+//! Concurrent multi-session screening: the throughput layer over the
+//! EarSonar front end.
+//!
+//! A population-scale screening service does not see one ear at a time; it
+//! sees thousands of interleaved chirp streams, each trickling in as its
+//! earphone captures audio. [`ScreeningEngine`] multiplexes those streams
+//! over the single-session front end:
+//!
+//! * a **sharded session table** keyed by [`SessionId`] — sessions hold
+//!   only their accumulated [`earsonar::streaming::ChirpStream`] state (a
+//!   few kilobytes), never a scratch;
+//! * **bounded per-session ingest queues** with explicit backpressure —
+//!   a full queue returns [`Rejected::QueueFull`], the engine never drops
+//!   a sample silently;
+//! * a **worker pool** ([`ScreeningEngine::drain`]) that claims ready
+//!   sessions across shards, each worker reusing one warm
+//!   [`earsonar_dsp::plan::DspScratch`] for every session it touches;
+//! * **tick-driven keep-alive eviction** — time is a logical clock the
+//!   caller advances with [`ScreeningEngine::tick`], so abandoned
+//!   sessions resolve to a typed
+//!   [`earsonar::screening::ScreeningOutcome::Inconclusive`] outcome and
+//!   tests stay deterministic (no wall clock anywhere in the crate).
+//!
+//! Verdicts are **bit-identical** to sequential per-session screening via
+//! [`earsonar::screening::screen_recording_quality`] at every worker
+//! count, shard count, and ingest interleaving: both paths feed the same
+//! partition-invariant stream API and resolve through the same
+//! [`earsonar::screening::resolve_stream`] decision sequence, and the
+//! scratch is a pure buffer pool. The `engine_equivalence` integration
+//! tests pin this with seeded-shuffle interleavings.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # use earsonar::{EarSonar, EarSonarConfig};
+//! # use earsonar_engine::{EngineConfig, ScreeningEngine, SessionId};
+//! # use earsonar_sim::cohort::Cohort;
+//! # use earsonar_sim::dataset::{Dataset, DatasetSpec};
+//! let data = Dataset::build(&Cohort::generate(8, 1), &DatasetSpec::default());
+//! let system = EarSonar::fit(&data.sessions, &EarSonarConfig::default()).unwrap();
+//! let engine = ScreeningEngine::new(&system, EngineConfig::default());
+//!
+//! engine.open(SessionId(1)).unwrap();
+//! for chunk in data.sessions[0].recording.samples.chunks(2400) {
+//!     engine.push(SessionId(1), chunk).unwrap();
+//! }
+//! engine.close(SessionId(1)).unwrap();
+//! engine.drain(4);
+//! for done in engine.take_completed() {
+//!     println!("{:?}: {:?}", done.id, done.outcome);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod session;
+
+pub use config::EngineConfig;
+pub use engine::{EngineStats, ScreeningEngine};
+pub use session::{CompletedSession, Rejected, SessionId};

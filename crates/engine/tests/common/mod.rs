@@ -1,0 +1,126 @@
+//! Shared fixtures for the engine integration tests: one trained system
+//! per test binary, simulated recordings, and the interleaved pump loop.
+
+// Each test binary compiles its own copy of this module and uses a
+// different subset of the helpers.
+#![allow(dead_code)]
+
+use earsonar::screening::{screen_recording_quality, RetryPolicy, ScreeningOutcome};
+use earsonar::{EarSonar, EarSonarConfig};
+use earsonar_dsp::rng::DetRng;
+use earsonar_engine::{CompletedSession, EngineConfig, Rejected, ScreeningEngine, SessionId};
+use earsonar_signal::recording::Recording;
+use earsonar_sim::cohort::Cohort;
+use earsonar_sim::dataset::{Dataset, DatasetSpec};
+use earsonar_sim::session::{RecordSession, Session, SessionConfig};
+use std::sync::OnceLock;
+
+/// A trained system, fitted once per test binary.
+pub fn system() -> &'static EarSonar {
+    static SYSTEM: OnceLock<EarSonar> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let data = Dataset::build(&Cohort::generate(8, 3), &DatasetSpec::default());
+        EarSonar::fit(&data.sessions, &EarSonarConfig::default()).expect("fit")
+    })
+}
+
+/// `n` distinct simulated recordings, each truncated to `n_chirps` chirps
+/// so debug-mode test time stays bounded (the front end is
+/// partition-invariant, so a short recording exercises the same code).
+pub fn recordings(n: usize, seed: u64, n_chirps: usize) -> Vec<Recording> {
+    let cohort = Cohort::generate(n.div_ceil(4).max(1), seed);
+    let patients = cohort.patients();
+    (0..n)
+        .map(|i| {
+            let rec = Session::record(
+                &patients[i % patients.len()],
+                0,
+                &SessionConfig::default(),
+                seed + i as u64,
+            )
+            .recording;
+            truncate(&rec, n_chirps)
+        })
+        .collect()
+}
+
+/// The first `n_chirps` chirps of a recording.
+pub fn truncate(rec: &Recording, n_chirps: usize) -> Recording {
+    let n = n_chirps.min(rec.n_chirps).max(1);
+    let samples = rec.samples[..(n * rec.chirp_hop).min(rec.samples.len())].to_vec();
+    Recording {
+        samples,
+        sample_rate: rec.sample_rate,
+        chirp_hop: rec.chirp_hop,
+        n_chirps: n,
+        chirp_len: rec.chirp_len,
+    }
+}
+
+/// Sequential reference outcomes for each recording.
+pub fn expected_outcomes(
+    system: &EarSonar,
+    recs: &[Recording],
+    policy: &RetryPolicy,
+) -> Vec<ScreeningOutcome> {
+    recs.iter()
+        .map(|r| screen_recording_quality(system, r, policy).expect("sequential screen"))
+        .collect()
+}
+
+/// Replays `recs` as one engine session each, pushing `chunk_len`-sample
+/// chunks in a seeded-shuffle interleaving (per-session chunk order is
+/// preserved — only the cross-session schedule is randomized). A full
+/// queue triggers a drain and a retry, so backpressure is exercised
+/// whenever capacity is hit. Returns the completed sessions, sorted by id.
+pub fn run_interleaved(
+    system: &EarSonar,
+    recs: &[Recording],
+    config: EngineConfig,
+    workers: usize,
+    chunk_len: usize,
+    seed: u64,
+) -> Vec<CompletedSession> {
+    let engine = ScreeningEngine::new(system, config);
+    let chunk_len = chunk_len.max(1);
+    let chunk_counts: Vec<usize> = recs
+        .iter()
+        .map(|r| r.samples.len().div_ceil(chunk_len))
+        .collect();
+
+    for i in 0..recs.len() {
+        engine.open(SessionId(i as u64)).expect("open");
+    }
+
+    // One token per chunk; shuffling tokens randomizes the interleaving
+    // while each session's own chunks still arrive in order.
+    let mut tokens: Vec<usize> = Vec::new();
+    for (i, &count) in chunk_counts.iter().enumerate() {
+        tokens.extend(std::iter::repeat_n(i, count));
+    }
+    let mut rng = DetRng::seed_from_u64(seed);
+    rng.shuffle(&mut tokens);
+
+    let mut cursor = vec![0usize; recs.len()];
+    for &s in &tokens {
+        let lo = cursor[s] * chunk_len;
+        let hi = (lo + chunk_len).min(recs[s].samples.len());
+        cursor[s] += 1;
+        let chunk = &recs[s].samples[lo..hi];
+        loop {
+            match engine.push(SessionId(s as u64), chunk) {
+                Ok(()) => break,
+                Err(Rejected::QueueFull { .. }) => {
+                    engine.drain(workers);
+                }
+                Err(e) => panic!("push rejected: {e}"),
+            }
+        }
+    }
+    for i in 0..recs.len() {
+        engine.close(SessionId(i as u64)).expect("close");
+    }
+    engine.drain(workers);
+    assert_eq!(engine.in_flight(), 0, "sessions left unresolved");
+    engine.take_completed()
+}

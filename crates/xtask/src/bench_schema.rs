@@ -1,12 +1,14 @@
-//! Schema validation for the unified benchmark report (`BENCH_pr6.json`).
+//! Schema validation for the unified benchmark report (`BENCH_pr7.json`).
 //!
 //! `cargo run -p xtask -- bench-schema` parses the report with a
 //! std-only JSON reader and checks the versioned shape that downstream
 //! consumers (the README table, CI artifacts) rely on: `schema_version`
-//! 1, the named kernel sections with their equivalence labels, and the
-//! end-to-end throughput block. CI runs this right after
-//! `perf_report --smoke`, so schema drift fails the build without ever
-//! asserting on timing values (which are noise on shared runners).
+//! 2, the named kernel sections with their equivalence labels, the
+//! end-to-end throughput block, and the session-engine load section
+//! (sessions/sec plus p50/p99 latency per worker count). CI runs this
+//! right after `perf_report --smoke` and `engine-bench --smoke`, so
+//! schema drift fails the build without ever asserting on timing values
+//! (which are noise on shared runners).
 
 use std::fmt;
 
@@ -234,7 +236,7 @@ pub fn parse_json(text: &str) -> Result<Value, SchemaError> {
     Ok(v)
 }
 
-// ---- the BENCH_pr6 schema ----
+// ---- the BENCH_pr7 schema ----
 
 /// The kernel sections every report must carry, matching the
 /// `KernelRow` names in `perf_report`.
@@ -300,7 +302,41 @@ fn check_sweep(v: &Value, path: &str, errors: &mut Vec<SchemaError>) {
     }
 }
 
-/// Validates a `BENCH_pr6.json` document against schema version 1.
+/// Validates the session-engine load section: the run's shape knobs and
+/// a non-empty worker sweep with throughput and tail-latency columns.
+fn check_engine(v: &Value, errors: &mut Vec<SchemaError>) {
+    let p = "$.engine";
+    want_num(v, p, "sessions", errors);
+    want_num(v, p, "shards", errors);
+    want_num(v, p, "queue_capacity", errors);
+    want_num(v, p, "chunk_len", errors);
+    want_num(v, p, "best_sessions_per_sec", errors);
+    want_bool(v, p, "equivalent_to_sequential", errors);
+    let Some(sweep) = want(v, p, "worker_sweep", errors) else {
+        return;
+    };
+    let path = "$.engine.worker_sweep";
+    let Value::Arr(rows) = sweep else {
+        errors.push(err(
+            path,
+            format!("expected array, found {}", sweep.type_name()),
+        ));
+        return;
+    };
+    if rows.is_empty() {
+        errors.push(err(path, "worker sweep must not be empty"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let p = format!("{path}[{i}]");
+        want_num(row, &p, "workers", errors);
+        want_num(row, &p, "sessions_per_sec", errors);
+        want_num(row, &p, "p50_ms", errors);
+        want_num(row, &p, "p99_ms", errors);
+        want_num(row, &p, "peak_in_flight", errors);
+    }
+}
+
+/// Validates a `BENCH_pr7.json` document against schema version 2.
 ///
 /// Checks shape and enumerations only — never timing magnitudes, which
 /// CI runners cannot reproduce. Returns every violation found, empty for
@@ -313,18 +349,18 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
     }
 
     match want(root, "$", "schema_version", &mut errors) {
-        Some(Value::Num(v)) if *v == 1.0 => {}
+        Some(Value::Num(v)) if *v == 2.0 => {}
         Some(other) => errors.push(err(
             "$.schema_version",
-            format!("expected 1, found {other:?}"),
+            format!("expected 2, found {other:?}"),
         )),
         None => {}
     }
     match want(root, "$", "report", &mut errors) {
-        Some(Value::Str(s)) if s == "BENCH_pr6" => {}
+        Some(Value::Str(s)) if s == "BENCH_pr7" => {}
         Some(other) => errors.push(err(
             "$.report",
-            format!("expected \"BENCH_pr6\", found {other:?}"),
+            format!("expected \"BENCH_pr7\", found {other:?}"),
         )),
         None => {}
     }
@@ -419,6 +455,10 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
         want_bool(qg, p, "bit_identical", &mut errors);
     }
 
+    if let Some(engine) = want(root, "$", "engine", &mut errors) {
+        check_engine(engine, &mut errors);
+    }
+
     errors
 }
 
@@ -456,8 +496,8 @@ mod tests {
             .join(", ");
         format!(
             r#"{{
-  "schema_version": 1,
-  "report": "BENCH_pr6",
+  "schema_version": 2,
+  "report": "BENCH_pr7",
   "mode": "smoke",
   "cores": 1,
   "low_core_host": true,
@@ -474,7 +514,13 @@ mod tests {
   "dataset_build": {{"sequential_ns": 5.0,
     "sweep": [{{"workers": 1, "ns": 5.0, "speedup": 1.0}}], "bit_identical": true}},
   "quality_gate": {{"gated_ns": 2.0, "ungated_ns": 1.9, "overhead_pct": 5.3,
-    "bit_identical": true}}
+    "bit_identical": true}},
+  "engine": {{
+    "sessions": 64, "shards": 16, "queue_capacity": 32, "chunk_len": 2400,
+    "worker_sweep": [{{"workers": 1, "sessions_per_sec": 40.0, "p50_ms": 12.0,
+      "p99_ms": 30.0, "peak_in_flight": 64}}],
+    "best_sessions_per_sec": 40.0, "equivalent_to_sequential": true
+  }}
 }}"#
         )
     }
@@ -507,10 +553,42 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_reported() {
-        let doc = conforming().replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let doc = conforming().replace("\"schema_version\": 2", "\"schema_version\": 1");
         let errors = check_report(&doc).unwrap_err();
         assert!(
             errors.iter().any(|e| e.path == "$.schema_version"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_engine_section_is_reported() {
+        let doc = conforming().replace("\"engine\":", "\"engine_renamed\":");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.path == "$.engine"), "{errors:?}");
+    }
+
+    #[test]
+    fn engine_sweep_rows_need_tail_latency() {
+        let doc = conforming().replace("\"p99_ms\"", "\"p99_percent\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path == "$.engine.worker_sweep[0].p99_ms"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn empty_engine_sweep_is_rejected() {
+        let doc = conforming().replace(
+            "[{\"workers\": 1, \"sessions_per_sec\": 40.0, \"p50_ms\": 12.0,\n      \"p99_ms\": 30.0, \"peak_in_flight\": 64}]",
+            "[]",
+        );
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.engine.worker_sweep"),
             "{errors:?}"
         );
     }

@@ -40,7 +40,7 @@ impl Report {
 pub fn ruleset_for(crate_name: &str) -> RuleSet {
     let panic = matches!(
         crate_name,
-        "earsonar" | "earsonar-dsp" | "earsonar-signal" | "earsonar-ml"
+        "earsonar" | "earsonar-dsp" | "earsonar-signal" | "earsonar-ml" | "earsonar-engine"
     );
     let maps = matches!(
         crate_name,
@@ -50,6 +50,7 @@ pub fn ruleset_for(crate_name: &str) -> RuleSet {
             | "earsonar-ml"
             | "earsonar-acoustics"
             | "earsonar-sim"
+            | "earsonar-engine"
     );
     let timing_crate = matches!(crate_name, "earsonar-bench" | "earsonar-cli" | "xtask");
     RuleSet {

@@ -11,9 +11,11 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose *normal* dependency closure must never contain
 /// [`FORBIDDEN_DEP`]: the detection core consumes recordings through
-/// `earsonar-signal`; the simulator is one producer among several and must
-/// only ever appear as a dev-dependency.
-pub const PROTECTED_CRATES: &[&str] = &["earsonar", "earsonar-ml", "earsonar-signal"];
+/// `earsonar-signal`, and the session engine multiplexes that same core;
+/// the simulator is one producer among several and must only ever appear
+/// as a dev-dependency.
+pub const PROTECTED_CRATES: &[&str] =
+    &["earsonar", "earsonar-ml", "earsonar-signal", "earsonar-engine"];
 /// The crate banned from protected closures.
 pub const FORBIDDEN_DEP: &str = "earsonar-sim";
 
@@ -278,5 +280,18 @@ mod tests {
             member("earsonar-dsp", &[]),
         ];
         assert!(check_layering(&members).is_empty());
+    }
+
+    #[test]
+    fn engine_is_protected_from_sim() {
+        let members = vec![
+            member("earsonar-engine", &["earsonar", "earsonar-sim"]),
+            member("earsonar", &["earsonar-dsp"]),
+            member("earsonar-sim", &[]),
+            member("earsonar-dsp", &[]),
+        ];
+        let f = check_layering(&members);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("earsonar-engine -> earsonar-sim"));
     }
 }

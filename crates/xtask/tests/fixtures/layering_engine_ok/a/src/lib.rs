@@ -1,0 +1,3 @@
+//! Fixture engine crate.
+
+#![forbid(unsafe_code)]

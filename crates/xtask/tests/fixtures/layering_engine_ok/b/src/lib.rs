@@ -1,0 +1,3 @@
+//! Fixture simulator crate.
+
+#![forbid(unsafe_code)]

@@ -130,6 +130,29 @@ fn layering_ok_workspace_passes_the_full_run() {
 }
 
 #[test]
+fn layering_engine_bad_workspace_is_rejected_by_the_full_run() {
+    let root =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layering_engine_bad");
+    let report = xtask::lint::run(&root).expect("fixture workspace parses");
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| f.rule == rules::RULE_LAYERING
+            && f.message.contains("earsonar-engine -> earsonar-sim")),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn layering_engine_ok_workspace_passes_the_full_run() {
+    let root =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layering_engine_ok");
+    let report = xtask::lint::run(&root).expect("fixture workspace parses");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.crates_scanned, 2);
+}
+
+#[test]
 fn simd_remainder_tail_pattern_is_clean_in_hot_paths() {
     // The four-lane kernel idiom (`chunks_exact(4)` + lane array +
     // scalar remainder, and `clear`/`reserve`/`extend` buffer reuse)

@@ -35,7 +35,13 @@ echo "==> perf_report smoke run"
 # are never asserted — CI runners can't reproduce them.
 cargo run --release -p earsonar-bench --bin perf_report -- --smoke
 
-echo "==> bench-schema: BENCH_pr6.json conforms to schema_version 1"
+echo "==> engine smoke run: 64 interleaved sessions, fixed seed"
+# Proves engine verdicts equal sequential screening under a seeded
+# interleaving at 1/2/4 workers, then splices the engine section into
+# BENCH_pr7.json. Throughput numbers are informational only.
+cargo run --release -p earsonar-bench --bin engine-bench -- --smoke
+
+echo "==> bench-schema: BENCH_pr7.json conforms to schema_version 2"
 cargo run -p xtask -- bench-schema
 
 echo "All checks passed."
