@@ -31,7 +31,7 @@ fn main() {
         system.front_end().process(&recording).unwrap()
     });
     b.report("inference", || {
-        system.detector().predict(&features).unwrap()
+        system.classifier().predict(&features).unwrap()
     });
     b.report("end_to_end_screen", || system.screen(&recording).unwrap());
 }

@@ -1,0 +1,51 @@
+//! A/B backend evaluation: runs the candidate feature/classifier
+//! backends against the reference MFCC+k-means baseline on the same
+//! deterministic cohort seeds and leave-one-participant-out folds, and
+//! reports per-class precision deltas.
+//!
+//! The resulting `backends` section is spliced into `BENCH_pr8.json`
+//! when the report exists (run `perf_report` first to produce the full
+//! document); without it the section is still printed for inspection.
+//!
+//! Usage: `cargo run --release -p earsonar-bench --bin ab-bench --
+//! [PATIENTS] [--smoke]`. `--smoke` (or `EARSONAR_BENCH_SMOKE`) pins the
+//! CI shape: 8 patients, the shared experiment seed.
+
+use earsonar_bench::ab::{backends_section_json, print_ab_table, run_ab, AB_CANDIDATES};
+use earsonar_bench::engine_load::splice_section;
+use earsonar::EarSonarConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = std::env::var_os("EARSONAR_BENCH_SMOKE").is_some()
+        || args.iter().any(|a| a == "--smoke");
+    let patients = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(if smoke { 8 } else { 24 });
+
+    println!(
+        "== A/B backends: {} candidate(s) vs mfcc-kmeans baseline, {patients} patients ==",
+        AB_CANDIDATES.len()
+    );
+    let (cmp, sessions) = run_ab(patients, &EarSonarConfig::default());
+    print_ab_table(&cmp);
+
+    let section = backends_section_json(&cmp, patients, sessions);
+    match std::fs::read_to_string("BENCH_pr8.json") {
+        Ok(doc) => match splice_section(&doc, "backends", &section) {
+            Some(updated) => {
+                std::fs::write("BENCH_pr8.json", updated).expect("write BENCH_pr8.json");
+                println!("\nspliced backends section into BENCH_pr8.json");
+            }
+            None => {
+                println!("\nBENCH_pr8.json has no backends section to splice; run perf_report");
+                println!("backends section:\n\"backends\": {section}");
+            }
+        },
+        Err(_) => {
+            println!("\nBENCH_pr8.json not found; run perf_report to produce the full report");
+            println!("backends section:\n\"backends\": {section}");
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Unified performance report: every scalar-vs-vectorized kernel pair
 //! from the SIMD pass, the planned-FFT comparison, the end-to-end
 //! throughput story (chirps/sec, screenings/sec, worker sweep), and the
-//! session-engine load sweep (sessions/sec, p50/p99 latency), written as
-//! one versioned JSON document, `BENCH_pr7.json`.
+//! session-engine load sweep (sessions/sec, p50/p99 latency), plus the
+//! A/B backend comparison (candidate backends vs the MFCC+k-means
+//! baseline on identical cohort seeds), written as one versioned JSON
+//! document, `BENCH_pr8.json`.
 //!
 //! Every kernel row verifies its equivalence contract **before** timing:
 //! `bit_identical` rows are `assert_eq!`-checked, `ulp_bounded` rows are
@@ -13,7 +15,7 @@
 //! a ~1.0x parallel "speedup" reflects the hardware, not the
 //! implementation — single-core kernel speedups are the portable story.
 //!
-//! The JSON schema (`schema_version` 2) is documented in DESIGN.md and
+//! The JSON schema (`schema_version` 3) is documented in DESIGN.md and
 //! validated by `cargo run -p xtask -- bench-schema`; CI runs the
 //! `--smoke` mode (or set `EARSONAR_BENCH_SMOKE`), which performs all
 //! equivalence checks with reduced timing budgets.
@@ -24,6 +26,7 @@ use earsonar::batch::default_workers;
 use earsonar::pipeline::{EarSonar, FrontEnd};
 use earsonar::quality::{measure_window, measure_window_scalar, NoiseFloor};
 use earsonar::EarSonarConfig;
+use earsonar_bench::ab::{backends_section_json, run_ab};
 use earsonar_bench::engine_load::{engine_section_json, run_load, LoadSpec};
 use earsonar_bench::standard_dataset;
 use earsonar_bench::timing::{json_num, Bencher, Measurement};
@@ -669,11 +672,18 @@ fn main() {
         engine_spec.sessions
     );
 
+    // ---- A/B backend comparison on the shared deterministic cohort ----
+    // Small cohorts keep the report fast; `ab-bench` re-splices the
+    // section at larger scale when run standalone.
+    let ab_patients = if smoke { 4 } else { 8 };
+    println!("\n== A/B backends ({ab_patients} patients) ==");
+    let (ab_cmp, ab_sessions) = run_ab(ab_patients, &EarSonarConfig::default());
+
     // ---- the unified report (hand-rolled JSON: no serde in budget) ----
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
-    let _ = writeln!(json, "  \"report\": \"BENCH_pr7\",");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"report\": \"BENCH_pr8\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"low_core_host\": {low_core},");
@@ -784,11 +794,16 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
+        "  \"backends\": {},",
+        backends_section_json(&ab_cmp, ab_patients, ab_sessions)
+    );
+    let _ = writeln!(
+        json,
         "  \"engine\": {}",
         engine_section_json(&engine_spec, &engine_reports)
     );
     json.push_str("}\n");
-    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
 
-    println!("\nwrote BENCH_pr7.json (schema_version 2)");
+    println!("\nwrote BENCH_pr8.json (schema_version 3)");
 }

@@ -18,7 +18,8 @@ fn main() {
     let dataset = standard_dataset(8, SessionConfig::default());
     let system = EarSonar::fit(&dataset.sessions, &cfg).expect("fit");
     let recording = &dataset.sessions[0].recording;
-    let latency = measure_stage_latency(system.front_end(), system.detector(), recording, 20)
+    let detector = system.detector().expect("reference backend");
+    let latency = measure_stage_latency(system.front_end(), detector, recording, 20)
         .expect("latency measurement");
 
     let mut t = Table::new("Table II: Latency of EarSonar for different operation");

@@ -207,7 +207,7 @@ pub fn run_load(system: &EarSonar, recordings: &[Recording], spec: &LoadSpec) ->
     }
 }
 
-/// Renders the `engine` section of `BENCH_pr7.json` from one sweep.
+/// Renders the `engine` section of `BENCH_pr8.json` from one sweep.
 ///
 /// `reports` must share a session count and engine shape (one spec, many
 /// worker counts); the section carries the shape once plus one
@@ -258,7 +258,16 @@ pub fn engine_section_json(spec: &LoadSpec, reports: &[LoadReport]) -> String {
 /// has no `"engine"` key or the braces don't balance — the caller then
 /// knows the report needs regenerating rather than splicing.
 pub fn splice_engine_section(doc: &str, section: &str) -> Option<String> {
-    let key = doc.find("\"engine\"")?;
+    splice_section(doc, "engine", section)
+}
+
+/// Replaces the object value of the named top-level key of an existing
+/// report document with `section` (a balanced JSON object). Returns
+/// `None` when the document has no such key or the braces don't balance.
+/// Shared by the engine-load and A/B benchmark binaries, which each
+/// rewrite their own section of the unified BENCH report in place.
+pub fn splice_section(doc: &str, key_name: &str, section: &str) -> Option<String> {
+    let key = doc.find(&format!("\"{key_name}\""))?;
     let open = key + doc[key..].find('{')?;
     let mut depth = 0usize;
     let mut close = None;
@@ -304,5 +313,15 @@ mod tests {
         assert!(!out.contains("\"old\""));
         assert!(out.contains("\"tail\": true"));
         assert!(splice_engine_section("{\"no_engine\": 1}", "{}").is_none());
+    }
+
+    #[test]
+    fn splice_section_targets_the_named_key() {
+        let doc = "{\n  \"backends\": {\n    \"old\": 1\n  },\n  \"engine\": {\"keep\": 2}\n}";
+        let out = splice_section(doc, "backends", "{\n    \"fresh\": 3\n  }").unwrap();
+        assert!(out.contains("\"fresh\": 3"));
+        assert!(!out.contains("\"old\""));
+        assert!(out.contains("\"keep\": 2"));
+        assert!(splice_section(doc, "missing", "{}").is_none());
     }
 }

@@ -199,7 +199,7 @@ mod tests {
         let system = earsonar::pipeline::EarSonar::fit(&ds.sessions, &cfg).unwrap();
         let lat = measure_stage_latency(
             system.front_end(),
-            system.detector(),
+            system.detector().expect("reference backend"),
             &ds.sessions[0].recording,
             2,
         )

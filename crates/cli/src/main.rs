@@ -12,7 +12,7 @@
 
 use earsonar::diagnostics::CaptureDiagnostics;
 use earsonar::eval::{loocv, ExtractedDataset};
-use earsonar::model_io::{load_model, save_model};
+use earsonar::model_io::{load_model, load_model_as, save_model};
 use earsonar::quality::SessionQuality;
 use earsonar::report::{pct, Table};
 use earsonar::screening::{
@@ -36,15 +36,19 @@ earsonar — acoustic middle-ear-effusion screening (EarSonar reproduction)
 USAGE:
   earsonar simulate [--patients N] [--seed S] --out DIR
       Simulate a cohort's sessions as float32 WAV files + manifest.tsv.
-  earsonar train    [--patients N] [--seed S] --model FILE
-      Train the pipeline on a simulated cohort and save the model.
-  earsonar screen   --model FILE [--min-chirps N] [--quorum N] WAV [WAV...]
+  earsonar train    [--patients N] [--seed S] [--backend NAME] --model FILE
+      Train the pipeline on a simulated cohort and save the model. With
+      --backend, train one of the registered feature/classifier backends
+      instead of the reference pipeline.
+  earsonar screen   --model FILE [--backend NAME] [--min-chirps N] [--quorum N] WAV [WAV...]
       Screen recordings chirp by chirp through the streaming front end,
       reporting per-chirp progress and a signal-quality verdict; with
       --min-chirps N, stop pushing as soon as N chirps have produced
       usable echoes. --quorum N sets how many quality-accepted,
       echo-yielding chirps a recording needs for a conclusive verdict.
-  earsonar screen-wav --model FILE [--quorum N] [--workers N] WAV [WAV...]
+      --backend NAME requires the model file to use that backend and
+      fails the run otherwise (a guard for scripted deployments).
+  earsonar screen-wav --model FILE [--backend NAME] [--quorum N] [--workers N] WAV [WAV...]
       Screen a WAV queue through the SignalSource capture interface (the
       same code path a live capture backend would use), with a per-cause
       summary of skipped captures at the end. With --workers N, all files
@@ -57,6 +61,8 @@ USAGE:
       Show what the pipeline sees inside recordings (IR, spectrum, dip).
 
 Defaults: --patients 16, --seed 7, --quorum 12.
+Backends: mfcc-kmeans (reference, default), absorbance-logistic,
+absorbance-knn.
 
 Exit codes: 0 all conclusive, 1 error, 2 at least one recording was
 INCONCLUSIVE (too little usable signal for a trustworthy verdict).";
@@ -69,6 +75,7 @@ struct Args {
     min_chirps: Option<usize>,
     quorum: Option<usize>,
     workers: Option<usize>,
+    backend: Option<String>,
     files: Vec<PathBuf>,
 }
 
@@ -96,6 +103,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         min_chirps: None,
         quorum: None,
         workers: None,
+        backend: None,
         files: Vec::new(),
     };
     let mut rest: Vec<String> = argv.collect();
@@ -152,6 +160,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     return Err("--workers needs at least 1".into());
                 }
                 args.workers = Some(n);
+            }
+            "--backend" => {
+                i += 1;
+                args.backend = Some(rest.get(i).ok_or("--backend needs a name")?.clone());
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
@@ -222,17 +234,36 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     let model_path = args.model.as_ref().ok_or("train requires --model FILE")?;
+    let backend = args.backend.as_deref().unwrap_or(earsonar::backend::REFERENCE_BACKEND);
     let data = build_dataset(args.patients, args.seed);
     eprintln!(
-        "training on {} sessions from {} patients…",
+        "training backend `{backend}` on {} sessions from {} patients…",
         data.sessions.len(),
         args.patients
     );
-    let system = EarSonar::fit(&data.sessions, &EarSonarConfig::default())
-        .map_err(|e| format!("training failed: {e}"))?;
+    let system = EarSonar::fit_backend(&data.sessions, &EarSonarConfig::default(), backend)
+        .map_err(|e| format!("training failed: {e}{}", backend_hint()))?;
     save_model(model_path, &system).map_err(|e| format!("saving model: {e}"))?;
     println!("model saved to {}", model_path.display());
     Ok(())
+}
+
+/// The registered backend names, for error messages about bad `--backend`.
+fn backend_hint() -> String {
+    let names: Vec<&str> = earsonar::backend::registry()
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    format!(" (registered backends: {})", names.join(", "))
+}
+
+/// Loads a model, optionally requiring it to use the named backend.
+fn load_pinned(path: &Path, backend: Option<&str>) -> Result<EarSonar, String> {
+    match backend {
+        Some(name) => load_model_as(path, name),
+        None => load_model(path),
+    }
+    .map_err(|e| format!("loading model: {e}{}", backend_hint()))
 }
 
 /// The chirp grid a model's configuration expects of its recordings.
@@ -376,7 +407,7 @@ fn cmd_screen(args: &Args) -> Result<bool, String> {
     if args.files.is_empty() {
         return Err("screen requires at least one WAV file".into());
     }
-    let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
+    let system = load_pinned(model_path, args.backend.as_deref())?;
     let config = system.front_end().config().clone();
     let policy = args.policy();
     let mut inconclusive = 0usize;
@@ -512,7 +543,7 @@ fn cmd_screen_wav(args: &Args) -> Result<bool, String> {
     if args.files.is_empty() {
         return Err("screen-wav requires at least one WAV file".into());
     }
-    let system = load_model(model_path).map_err(|e| format!("loading model: {e}"))?;
+    let system = load_pinned(model_path, args.backend.as_deref())?;
     let layout = chirp_layout(system.front_end().config());
     let policy = args.policy();
     if let Some(workers) = args.workers {

@@ -124,7 +124,7 @@ impl EarSonar {
     ) -> Vec<Result<MeeState, EarSonarError>> {
         run_indexed(recordings.len(), workers, |i, scratch| {
             let processed = self.front_end().process_with(scratch, &recordings[i])?;
-            self.detector().predict(&processed.features)
+            self.classifier().predict(&processed.features)
         })
     }
 }

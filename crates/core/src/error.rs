@@ -32,6 +32,19 @@ pub enum EarSonarError {
     },
     /// The detector was asked to predict before being fitted.
     NotFitted,
+    /// A backend name was not found in the registry
+    /// (see [`crate::backend::registry`]).
+    UnknownBackend {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A model file was saved by one backend but opened as another.
+    BackendMismatch {
+        /// The backend the caller asked for.
+        expected: String,
+        /// The backend recorded in the model file.
+        found: String,
+    },
 }
 
 impl fmt::Display for EarSonarError {
@@ -46,6 +59,15 @@ impl fmt::Display for EarSonarError {
                 write!(f, "bad config `{name}`: {constraint}")
             }
             EarSonarError::NotFitted => write!(f, "detector has not been fitted"),
+            EarSonarError::UnknownBackend { name } => {
+                write!(f, "unknown backend `{name}`")
+            }
+            EarSonarError::BackendMismatch { expected, found } => {
+                write!(
+                    f,
+                    "backend mismatch: requested `{expected}` but the model was saved by `{found}`"
+                )
+            }
         }
     }
 }

@@ -5,7 +5,13 @@
 //! one. Feature extraction is hoisted out of the fold loop — the front end
 //! is deterministic per recording, so each session is processed exactly
 //! once.
+//!
+//! The A/B harness ([`ab_compare`]) runs any set of registered
+//! [`crate::backend`]s through the *same* LOOCV folds on the *same*
+//! sessions and reports per-class precision deltas against the reference
+//! MFCC+k-means baseline.
 
+use crate::backend::{self, BackendSpec};
 use crate::baseline::ChanBaseline;
 use crate::config::EarSonarConfig;
 use crate::detect::EarSonarDetector;
@@ -37,7 +43,24 @@ impl ExtractedDataset {
     ///
     /// Returns [`EarSonarError::NoEchoDetected`] if every session fails.
     pub fn extract(sessions: &[Session], config: &EarSonarConfig) -> Result<Self, EarSonarError> {
-        let fe = FrontEnd::new(config)?;
+        Self::extract_front_end(sessions, &FrontEnd::new(config)?)
+    }
+
+    /// Runs a backend's front end over every session (the backend picks
+    /// the feature extractor; the signal stages are shared).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExtractedDataset::extract`].
+    pub fn extract_with_backend(
+        sessions: &[Session],
+        config: &EarSonarConfig,
+        spec: &BackendSpec,
+    ) -> Result<Self, EarSonarError> {
+        Self::extract_front_end(sessions, &FrontEnd::for_backend(config, spec)?)
+    }
+
+    fn extract_front_end(sessions: &[Session], fe: &FrontEnd) -> Result<Self, EarSonarError> {
         let mut features = Vec::new();
         let mut labels = Vec::new();
         let mut groups = Vec::new();
@@ -319,6 +342,129 @@ pub fn loocv_baseline(
     )?)
 }
 
+/// One backend's cross-validated score in an A/B comparison.
+#[derive(Debug, Clone)]
+pub struct BackendScore {
+    /// Registry name of the backend.
+    pub backend: &'static str,
+    /// Backend version.
+    pub version: u32,
+    /// LOOCV classification report (accuracy, per-class precision,
+    /// confusion matrix, …).
+    pub report: ClassificationReport,
+    /// Mean classifier-native confidence over every held-out prediction.
+    pub mean_confidence: f64,
+    /// Sessions the backend's front end dropped during extraction.
+    pub dropped: usize,
+}
+
+/// Result of running candidate backends against the reference baseline on
+/// identical cohort sessions and LOOCV folds.
+#[derive(Debug, Clone)]
+pub struct AbComparison {
+    /// The reference MFCC+k-means score.
+    pub baseline: BackendScore,
+    /// One score per requested candidate backend.
+    pub candidates: Vec<BackendScore>,
+}
+
+impl AbComparison {
+    /// Per-class precision delta of a candidate against the baseline
+    /// (positive = candidate more precise on that class).
+    pub fn precision_delta(&self, candidate: &BackendScore) -> Vec<f64> {
+        candidate
+            .report
+            .precision
+            .iter()
+            .zip(&self.baseline.report.precision)
+            .map(|(c, b)| c - b)
+            .collect()
+    }
+}
+
+/// Leave-one-participant-out cross-validation with a specific backend's
+/// classifier, also averaging the classifier's native confidence over
+/// the held-out predictions.
+///
+/// The folds are a pure function of `data.groups`, so two backends
+/// evaluated on datasets extracted from the same sessions see identical
+/// train/test splits.
+///
+/// # Errors
+///
+/// Same conditions as [`loocv`].
+pub fn loocv_with_backend(
+    data: &ExtractedDataset,
+    config: &EarSonarConfig,
+    spec: &BackendSpec,
+) -> Result<(ClassificationReport, f64), EarSonarError> {
+    let splits = leave_one_group_out(&data.groups)?;
+    let mut actual = Vec::with_capacity(data.len());
+    let mut predicted = Vec::with_capacity(data.len());
+    let mut confidence_sum = 0.0;
+    for split in splits {
+        let (train_x, train_y) = data.subset(&split.train);
+        let classifier = (spec.fit)(&train_x, &train_y, config)?;
+        for &i in &split.test {
+            let p = classifier.predict(&data.features[i])?;
+            confidence_sum += classifier.confidence(&data.features[i])?;
+            actual.push(data.labels[i].index());
+            predicted.push(p.index());
+        }
+    }
+    let mean_confidence = if actual.is_empty() {
+        0.0
+    } else {
+        confidence_sum / actual.len() as f64
+    };
+    let report = ClassificationReport::from_labels(&actual, &predicted, MeeState::COUNT)?;
+    Ok((report, mean_confidence))
+}
+
+/// Runs the reference backend and every named candidate through LOOCV on
+/// the same sessions, reusing feature extraction across backends that
+/// share an extractor family.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::UnknownBackend`] for unregistered candidate
+/// names, plus the conditions of [`loocv_with_backend`].
+pub fn ab_compare(
+    sessions: &[Session],
+    config: &EarSonarConfig,
+    candidate_names: &[&str],
+) -> Result<AbComparison, EarSonarError> {
+    let mut datasets: std::collections::BTreeMap<&'static str, ExtractedDataset> =
+        std::collections::BTreeMap::new();
+    let mut score = |spec: &'static BackendSpec| -> Result<BackendScore, EarSonarError> {
+        let extractor_family = (spec.make_extractor)(config)?.name();
+        if !datasets.contains_key(extractor_family) {
+            datasets.insert(
+                extractor_family,
+                ExtractedDataset::extract_with_backend(sessions, config, spec)?,
+            );
+        }
+        let data = &datasets[extractor_family];
+        let (report, mean_confidence) = loocv_with_backend(data, config, spec)?;
+        Ok(BackendScore {
+            backend: spec.name,
+            version: spec.version,
+            report,
+            mean_confidence,
+            dropped: data.dropped,
+        })
+    };
+    let baseline = score(backend::reference())?;
+    let mut candidates = Vec::with_capacity(candidate_names.len());
+    for name in candidate_names {
+        candidates.push(score(backend::lookup(name)?)?);
+    }
+    Ok(AbComparison {
+        baseline,
+        candidates,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +505,40 @@ mod tests {
         let report = holdout(&ex, &cfg, 0.75, 1).unwrap();
         assert!(report.accuracy > 0.25);
         assert_eq!(report.precision.len(), 4);
+    }
+
+    #[test]
+    fn ab_compare_scores_candidates_on_identical_folds() {
+        let ds = dataset(6, 25);
+        let cfg = EarSonarConfig::default();
+        let cmp =
+            ab_compare(&ds.sessions, &cfg, &["absorbance-logistic", "absorbance-knn"]).unwrap();
+        assert_eq!(cmp.baseline.backend, "mfcc-kmeans");
+        assert_eq!(cmp.candidates.len(), 2);
+        for c in &cmp.candidates {
+            assert_eq!(c.report.precision.len(), MeeState::COUNT);
+            assert!((0.0..=1.0).contains(&c.report.accuracy));
+            assert!((0.0..=1.0).contains(&c.mean_confidence));
+            let delta = cmp.precision_delta(c);
+            assert_eq!(delta.len(), MeeState::COUNT);
+            assert!(delta.iter().all(|d| (-1.0..=1.0).contains(d)));
+        }
+        // The baseline path must agree with the plain reference LOOCV on
+        // the same extracted features: identical folds, identical model.
+        let ex = ExtractedDataset::extract(&ds.sessions, &cfg).unwrap();
+        let reference_report = loocv(&ex, &cfg).unwrap();
+        assert_eq!(cmp.baseline.report.accuracy, reference_report.accuracy);
+        assert_eq!(cmp.baseline.report.precision, reference_report.precision);
+    }
+
+    #[test]
+    fn ab_compare_rejects_unknown_candidates() {
+        let ds = dataset(3, 26);
+        let cfg = EarSonarConfig::default();
+        assert!(matches!(
+            ab_compare(&ds.sessions, &cfg, &["no-such-backend"]),
+            Err(EarSonarError::UnknownBackend { .. })
+        ));
     }
 
     #[test]

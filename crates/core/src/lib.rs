@@ -19,6 +19,10 @@
 //! * [`absorption`] — eardrum-echo power-spectrum extraction (§IV-C-1),
 //! * [`features`] — the 105-element MFCC + statistical feature vector
 //!   (§IV-C-2),
+//! * [`features_absorbance`] — the wideband-absorbance alternative
+//!   feature family built on `earsonar-acoustics` physics templates,
+//! * [`backend`] — the pluggable feature/classifier registry; the
+//!   paper's MFCC+k-means is the bit-identical reference backend,
 //! * [`detect`] — Laplacian-score selection, k-means clustering, outlier
 //!   handling, and cluster labelling (§IV-C-2/3/4),
 //! * [`pipeline`] — the end-to-end [`pipeline::EarSonar`] system,
@@ -65,6 +69,7 @@
 
 
 pub mod absorption;
+pub mod backend;
 pub mod baseline;
 pub mod batch;
 pub mod cancel;
@@ -76,6 +81,7 @@ pub mod error;
 pub mod eval;
 pub mod event;
 pub mod features;
+pub mod features_absorbance;
 pub mod model_io;
 pub mod pipeline;
 pub mod preprocess;

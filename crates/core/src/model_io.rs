@@ -7,21 +7,34 @@
 //! `serde` but no format crate, so the format is hand-rolled and fully
 //! tested).
 //!
-//! Format (`earsonar-model v1`): one `key: values…` line per field, with
-//! vectors space-separated and matrices as one line per row.
+//! Format: one `key: values…` line per field, with vectors
+//! space-separated and matrices as one line per row.
+//!
+//! Two format versions are understood:
+//!
+//! * `earsonar-model v2` (written today) — carries `backend:` and
+//!   `backend_version:` lines naming the [`crate::backend`] registry
+//!   entry that produced the classifier fields; loading requires the
+//!   named backend at exactly that version.
+//! * `earsonar-model v1` (legacy, pre-registry) — no backend lines;
+//!   these files always contain the paper's MFCC+k-means components and
+//!   load as the reference backend with bit-identical verdicts.
+//!
+//! [`load_model_as`] additionally pins the expected backend: an
+//! unregistered name is [`EarSonarError::UnknownBackend`], and a file
+//! saved by a different backend is [`EarSonarError::BackendMismatch`] —
+//! typed errors, never panics.
 
+use crate::backend::{self, parse_f64s, parse_one_usize, parse_usizes};
 use crate::config::EarSonarConfig;
-use crate::detect::EarSonarDetector;
 use crate::error::EarSonarError;
 use crate::pipeline::{EarSonar, FrontEnd};
 use earsonar_dsp::window::Window;
-use earsonar_ml::kmeans::KMeans;
-use earsonar_ml::labeling::ClusterLabeling;
-use earsonar_ml::scaler::StandardScaler;
 use std::fmt::Write as _;
 use std::path::Path;
 
-const MAGIC: &str = "earsonar-model v1";
+const MAGIC_V1: &str = "earsonar-model v1";
+const MAGIC_V2: &str = "earsonar-model v2";
 
 fn bad(constraint: &'static str) -> EarSonarError {
     EarSonarError::BadRecording { reason: constraint }
@@ -46,12 +59,15 @@ fn window_from_name(s: &str) -> Result<Window, EarSonarError> {
     }
 }
 
-/// Serializes a trained system to the model text format.
+/// Serializes a trained system to the model text format
+/// (`earsonar-model v2`, stamped with the system's backend).
 pub fn model_to_string(system: &EarSonar) -> String {
     let cfg = system.front_end().config();
-    let det = system.detector();
+    let classifier = system.classifier();
     let mut out = String::new();
-    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "{MAGIC_V2}");
+    let _ = writeln!(out, "backend: {}", classifier.backend());
+    let _ = writeln!(out, "backend_version: {}", classifier.version());
 
     // Configuration.
     let _ = writeln!(out, "sample_rate: {}", cfg.sample_rate);
@@ -107,38 +123,8 @@ pub fn model_to_string(system: &EarSonar) -> String {
         cfg.quality.max_dc_fraction
     );
 
-    // Detector components.
-    let join = |v: &[f64]| {
-        v.iter()
-            .map(|x| format!("{x:?}"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-    let _ = writeln!(out, "scaler_means: {}", join(det.scaler().means()));
-    let _ = writeln!(out, "scaler_stds: {}", join(det.scaler().stds()));
-    let _ = writeln!(
-        out,
-        "selected: {}",
-        det.selected_features()
-            .iter()
-            .map(|i| i.to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
-    let _ = writeln!(out, "centroids: {}", det.kmeans().centroids().len());
-    for c in det.kmeans().centroids() {
-        let _ = writeln!(out, "centroid: {}", join(c));
-    }
-    let _ = writeln!(
-        out,
-        "labeling: {}",
-        det.labeling()
-            .mapping()
-            .iter()
-            .map(|c| c.to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
+    // Classifier components, in the backend's own field layout.
+    classifier.save_fields(&mut out);
     out
 }
 
@@ -160,9 +146,12 @@ pub fn save_model(path: impl AsRef<Path>, system: &EarSonar) -> Result<(), EarSo
 /// configuration or component validation error.
 pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
     let mut lines = text.lines();
-    if lines.next().map(str::trim) != Some(MAGIC) {
-        return Err(bad("not an earsonar-model v1 file"));
-    }
+    let legacy_v1 = match lines.next().map(str::trim) {
+        Some(m) if m == MAGIC_V2 => false,
+        // Pre-registry files: always the reference MFCC+k-means layout.
+        Some(m) if m == MAGIC_V1 => true,
+        _ => return Err(bad("not an earsonar-model file")),
+    };
 
     let mut fields: Vec<(String, String)> = Vec::new();
     for line in lines {
@@ -173,38 +162,17 @@ pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
         let (key, value) = line.split_once(':').ok_or(bad("malformed model line"))?;
         fields.push((key.trim().to_string(), value.trim().to_string()));
     }
-    let get = |key: &str| -> Result<&str, EarSonarError> {
-        fields
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-            .ok_or(bad("missing model field"))
-    };
-    fn f64s(s: &str) -> Result<Vec<f64>, EarSonarError> {
-        s.split_whitespace()
-            .map(|t| t.parse::<f64>().map_err(|_| bad("bad float in model file")))
-            .collect()
-    }
-    fn usizes(s: &str) -> Result<Vec<usize>, EarSonarError> {
-        s.split_whitespace()
-            .map(|t| {
-                t.parse::<usize>()
-                    .map_err(|_| bad("bad integer in model file"))
-            })
-            .collect()
-    }
+    let get = |key: &str| backend::field(&fields, key);
+    let f64s = parse_f64s;
+    let usizes = parse_usizes;
+    let one_usize = parse_one_usize;
     fn one_f64(s: &str) -> Result<f64, EarSonarError> {
         s.trim()
             .parse()
             .map_err(|_| bad("bad float in model file"))
     }
-    fn one_usize(s: &str) -> Result<usize, EarSonarError> {
-        s.trim()
-            .parse()
-            .map_err(|_| bad("bad integer in model file"))
-    }
     fn two_f64(s: &str) -> Result<(f64, f64), EarSonarError> {
-        let v = f64s(s)?;
+        let v = parse_f64s(s)?;
         if v.len() != 2 {
             return Err(bad("expected two floats"));
         }
@@ -298,29 +266,46 @@ pub fn model_from_string(text: &str) -> Result<EarSonar, EarSonarError> {
     };
     config.validate()?;
 
-    let scaler = StandardScaler::from_parts(
-        f64s(get("scaler_means")?)?,
-        f64s(get("scaler_stds")?)?,
-    )?;
-    let selected = usizes(get("selected")?)?;
-    let n_centroids = one_usize(get("centroids")?)?;
-    let centroids: Vec<Vec<f64>> = fields
-        .iter()
-        .filter(|(k, _)| k == "centroid")
-        .map(|(_, v)| f64s(v))
-        .collect::<Result<_, _>>()?;
-    if centroids.len() != n_centroids {
-        return Err(bad("centroid count mismatch"));
+    // Resolve the backend that wrote the classifier fields.
+    let spec = if legacy_v1 {
+        backend::reference()
+    } else {
+        backend::lookup(get("backend")?)?
+    };
+    if !legacy_v1 {
+        let version = one_usize(get("backend_version")?)? as u32;
+        if version != spec.version {
+            return Err(bad(
+                "model backend version does not match this build's backend",
+            ));
+        }
     }
-    let kmeans = KMeans::from_centroids(centroids)?;
-    let labeling = ClusterLabeling::from_mapping(
-        usizes(get("labeling")?)?,
-        earsonar_signal::effusion::MeeState::COUNT,
-    )?;
 
-    let detector = EarSonarDetector::from_components(scaler, selected, kmeans, labeling)?;
-    let front_end = FrontEnd::new(&config)?;
-    Ok(EarSonar::from_parts(front_end, detector))
+    let classifier = (spec.load)(&fields, &config)?;
+    let front_end = FrontEnd::for_backend(&config, spec)?;
+    Ok(EarSonar::from_backend_parts(front_end, classifier))
+}
+
+/// [`model_from_string`] pinned to an expected backend.
+///
+/// # Errors
+///
+/// Returns [`EarSonarError::UnknownBackend`] if `backend_name` is not
+/// registered, [`EarSonarError::BackendMismatch`] if the model was saved
+/// by a different backend, plus the conditions of [`model_from_string`].
+pub fn model_from_string_as(
+    text: &str,
+    backend_name: &str,
+) -> Result<EarSonar, EarSonarError> {
+    let requested = backend::lookup(backend_name)?;
+    let system = model_from_string(text)?;
+    if system.backend() != requested.name {
+        return Err(EarSonarError::BackendMismatch {
+            expected: requested.name.to_string(),
+            found: system.backend().to_string(),
+        });
+    }
+    Ok(system)
 }
 
 /// Loads a trained system from `path`.
@@ -333,6 +318,21 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<EarSonar, EarSonarError> {
     let text =
         std::fs::read_to_string(path).map_err(|_| bad("could not read the model file"))?;
     model_from_string(&text)
+}
+
+/// Loads a trained system from `path`, requiring it to run the named
+/// backend.
+///
+/// # Errors
+///
+/// Same conditions as [`model_from_string_as`], plus I/O failure.
+pub fn load_model_as(
+    path: impl AsRef<Path>,
+    backend_name: &str,
+) -> Result<EarSonar, EarSonarError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|_| bad("could not read the model file"))?;
+    model_from_string_as(&text, backend_name)
 }
 
 #[cfg(test)]
@@ -351,7 +351,8 @@ mod tests {
     fn string_round_trip_preserves_predictions() {
         let (system, data) = trained();
         let text = model_to_string(&system);
-        assert!(text.starts_with(MAGIC));
+        assert!(text.starts_with(MAGIC_V2));
+        assert!(text.contains("backend: mfcc-kmeans"));
         let restored = model_from_string(&text).expect("parse");
         for s in data.sessions.iter().take(12) {
             assert_eq!(
@@ -421,10 +422,86 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_file_loads_as_reference_with_identical_verdicts() {
+        let (system, data) = trained();
+        // Reconstruct what a pre-registry save produced: the v1 magic and
+        // no backend lines; every other field is unchanged.
+        let legacy: String = model_to_string(&system)
+            .lines()
+            .filter(|l| !l.starts_with("backend:") && !l.starts_with("backend_version:"))
+            .map(|l| if l == MAGIC_V2 { MAGIC_V1 } else { l })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(legacy.starts_with(MAGIC_V1));
+        let restored = model_from_string(&legacy).expect("legacy parse");
+        assert_eq!(restored.backend(), crate::backend::REFERENCE_BACKEND);
+        assert!(restored.detector().is_some());
+        for s in data.sessions.iter().take(12) {
+            assert_eq!(
+                system.screen(&s.recording).unwrap(),
+                restored.screen(&s.recording).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_backend_load_is_a_typed_error() {
+        let (system, _) = trained();
+        let text = model_to_string(&system);
+        // Pinning the correct backend succeeds...
+        assert!(model_from_string_as(&text, "mfcc-kmeans").is_ok());
+        // ...a different registered backend is a mismatch, not a panic...
+        match model_from_string_as(&text, "absorbance-logistic") {
+            Err(EarSonarError::BackendMismatch { expected, found }) => {
+                assert_eq!(expected, "absorbance-logistic");
+                assert_eq!(found, "mfcc-kmeans");
+            }
+            other => panic!("expected BackendMismatch, got {other:?}"),
+        }
+        // ...and an unregistered name is UnknownBackend.
+        assert!(matches!(
+            model_from_string_as(&text, "no-such-backend"),
+            Err(EarSonarError::UnknownBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_backend_and_version_in_file_are_rejected() {
+        let (system, _) = trained();
+        let text = model_to_string(&system);
+        let renamed = text.replace("backend: mfcc-kmeans", "backend: mystery-backend");
+        assert!(matches!(
+            model_from_string(&renamed),
+            Err(EarSonarError::UnknownBackend { .. })
+        ));
+        let futuristic = text.replace("backend_version: 1", "backend_version: 99");
+        assert!(model_from_string(&futuristic).is_err());
+    }
+
+    #[test]
+    fn non_reference_backend_round_trips() {
+        let data = Dataset::build(&Cohort::generate(6, 21), &DatasetSpec::default());
+        let system =
+            EarSonar::fit_backend(&data.sessions, &EarSonarConfig::default(), "absorbance-knn")
+                .expect("fit");
+        let text = model_to_string(&system);
+        assert!(text.contains("backend: absorbance-knn"));
+        let restored = model_from_string(&text).expect("parse");
+        assert_eq!(restored.backend(), "absorbance-knn");
+        assert!(restored.detector().is_none());
+        for s in data.sessions.iter().take(12) {
+            assert_eq!(
+                system.screen(&s.recording).unwrap(),
+                restored.screen(&s.recording).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(model_from_string("").is_err());
         assert!(model_from_string("not a model").is_err());
-        assert!(model_from_string(MAGIC).is_err()); // fields missing
+        assert!(model_from_string(MAGIC_V2).is_err()); // fields missing
         let (system, _) = trained();
         let text = model_to_string(&system);
         // Corrupt a float.
@@ -442,8 +519,11 @@ mod tests {
 
     #[test]
     fn detector_component_validation() {
+        use crate::detect::EarSonarDetector;
+        use earsonar_ml::kmeans::KMeans;
+
         let (system, _) = trained();
-        let det = system.detector();
+        let det = system.detector().expect("reference backend");
         // Inconsistent k-means dimensionality is rejected.
         let bad_km = KMeans::from_centroids(vec![vec![0.0; 3]; 4]).unwrap();
         assert!(EarSonarDetector::from_components(

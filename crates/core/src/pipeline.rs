@@ -5,8 +5,15 @@
 //! simulator), signal preprocessing, acoustic absorption analysis, and MEE
 //! detection. [`EarSonar::fit`] plays the role of the training phase on
 //! collected sessions; [`EarSonar::screen`] is the home-screening call.
+//!
+//! Feature extraction and classification sit behind the
+//! [`crate::backend`] trait boundary: [`EarSonar::fit`] trains the
+//! paper's reference MFCC+k-means backend (bit-identical to the
+//! pre-registry system), while [`EarSonar::fit_backend`] selects any
+//! registered backend by name.
 
 use crate::absorption::{average_spectra, echo_ir_spectrum, EchoSpectrum};
+use crate::backend::{self, BackendSpec, Classifier, ReferenceClassifier};
 use crate::channel::{average_irs, pipeline_estimator, ChannelEstimator};
 use crate::cancel::chirp_template;
 use earsonar_acoustics::propagation::delay_fractional_allpass_with;
@@ -15,8 +22,8 @@ use crate::detect::EarSonarDetector;
 use crate::diagnostics::Diagnostics;
 use crate::error::EarSonarError;
 use crate::event::detect_events_with_floor;
-use crate::features::FeatureExtractor;
 use crate::preprocess::Preprocessor;
+use std::sync::Arc;
 use crate::quality::{self, NoiseFloor, QualityCause, SessionQuality};
 use crate::segment::{segment_with_anchor, EardrumEcho};
 use earsonar_dsp::plan::DspScratch;
@@ -29,7 +36,8 @@ pub use crate::config::EarSonarConfig as Config;
 /// Per-recording products of the signal-processing front end.
 #[derive(Debug, Clone)]
 pub struct ProcessedRecording {
-    /// The 105-element feature vector.
+    /// The feature vector (width fixed by the backend's extractor; 105
+    /// for the reference MFCC backend).
     pub features: Vec<f64>,
     /// The recording-averaged echo spectrum.
     pub spectrum: EchoSpectrum,
@@ -123,19 +131,47 @@ impl ChirpAccumulator {
 pub struct FrontEnd {
     config: EarSonarConfig,
     preprocessor: Preprocessor,
-    extractor: FeatureExtractor,
+    extractor: Arc<dyn backend::FeatureExtractor>,
     template: Vec<f64>,
     estimator: ChannelEstimator,
 }
 
 impl FrontEnd {
-    /// Builds the front end from a configuration.
+    /// Builds the front end with the reference MFCC feature extractor.
     ///
     /// # Errors
     ///
     /// Returns [`EarSonarError::BadConfig`] or [`EarSonarError::Dsp`] if
     /// the configuration is infeasible.
     pub fn new(config: &EarSonarConfig) -> Result<Self, EarSonarError> {
+        let extractor = Arc::new(crate::features::FeatureExtractor::new(config)?);
+        FrontEnd::with_extractor(config, extractor)
+    }
+
+    /// Builds the front end with a backend's feature extractor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrontEnd::new`].
+    pub fn for_backend(
+        config: &EarSonarConfig,
+        spec: &BackendSpec,
+    ) -> Result<Self, EarSonarError> {
+        FrontEnd::with_extractor(config, (spec.make_extractor)(config)?)
+    }
+
+    /// Builds the front end around an arbitrary feature extractor. The
+    /// signal stages (preprocessing through echo spectra) are identical
+    /// for every extractor; only the final reduction to a feature vector
+    /// differs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrontEnd::new`].
+    pub fn with_extractor(
+        config: &EarSonarConfig,
+        extractor: Arc<dyn backend::FeatureExtractor>,
+    ) -> Result<Self, EarSonarError> {
         config.validate()?;
         let preprocessor = Preprocessor::new(config)?;
         // The cancellation template must look like the direct leak *after*
@@ -150,7 +186,7 @@ impl FrontEnd {
         Ok(FrontEnd {
             config: config.clone(),
             preprocessor,
-            extractor: FeatureExtractor::new(config)?,
+            extractor,
             template: filtered,
             estimator,
         })
@@ -159,6 +195,11 @@ impl FrontEnd {
     /// The configuration in use.
     pub fn config(&self) -> &EarSonarConfig {
         &self.config
+    }
+
+    /// The feature extractor reducing echo spectra to feature vectors.
+    pub fn extractor(&self) -> &dyn backend::FeatureExtractor {
+        self.extractor.as_ref()
     }
 
     /// The preprocessed transmit-chirp template the front end deconvolves
@@ -397,13 +438,13 @@ impl FrontEnd {
 #[derive(Debug, Clone)]
 pub struct EarSonar {
     front_end: FrontEnd,
-    detector: EarSonarDetector,
+    classifier: Box<dyn Classifier>,
 }
 
 impl EarSonar {
     /// Fits the system on labelled training sessions: runs the front end
-    /// over every recording and trains the detector on the feature
-    /// vectors.
+    /// over every recording and trains the paper's reference
+    /// MFCC+k-means backend on the feature vectors.
     ///
     /// Sessions whose recordings yield no echo are skipped (they would be
     /// rejected on hardware too).
@@ -413,7 +454,23 @@ impl EarSonar {
     /// Returns [`EarSonarError::NoEchoDetected`] if *no* session could be
     /// processed, and propagates configuration and learning errors.
     pub fn fit(sessions: &[Session], config: &EarSonarConfig) -> Result<Self, EarSonarError> {
-        let front_end = FrontEnd::new(config)?;
+        EarSonar::fit_backend(sessions, config, backend::REFERENCE_BACKEND)
+    }
+
+    /// [`EarSonar::fit`] with an explicit backend selected from the
+    /// registry by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EarSonarError::UnknownBackend`] for unregistered names,
+    /// plus the conditions of [`EarSonar::fit`].
+    pub fn fit_backend(
+        sessions: &[Session],
+        config: &EarSonarConfig,
+        backend_name: &str,
+    ) -> Result<Self, EarSonarError> {
+        let spec = backend::lookup(backend_name)?;
+        let front_end = FrontEnd::for_backend(config, spec)?;
         let mut features = Vec::with_capacity(sessions.len());
         let mut labels = Vec::with_capacity(sessions.len());
         for s in sessions {
@@ -425,19 +482,29 @@ impl EarSonar {
         if features.is_empty() {
             return Err(EarSonarError::NoEchoDetected);
         }
-        let detector = EarSonarDetector::fit(&features, &labels, config)?;
+        let classifier = (spec.fit)(&features, &labels, config)?;
         Ok(EarSonar {
             front_end,
-            detector,
+            classifier,
         })
     }
 
-    /// Builds a system from an already-fitted detector (used by the
-    /// evaluation harness to avoid re-processing recordings).
+    /// Builds a system from an already-fitted reference detector (used by
+    /// the evaluation harness to avoid re-processing recordings).
     pub fn from_parts(front_end: FrontEnd, detector: EarSonarDetector) -> Self {
         EarSonar {
             front_end,
-            detector,
+            classifier: Box::new(ReferenceClassifier::new(detector)),
+        }
+    }
+
+    /// Builds a system from an already-fitted backend classifier. The
+    /// front end must carry the matching extractor (use
+    /// [`FrontEnd::for_backend`]).
+    pub fn from_backend_parts(front_end: FrontEnd, classifier: Box<dyn Classifier>) -> Self {
+        EarSonar {
+            front_end,
+            classifier,
         }
     }
 
@@ -449,7 +516,7 @@ impl EarSonar {
     /// [`EarSonarError::BadRecording`]) and prediction errors.
     pub fn screen(&self, recording: &Recording) -> Result<MeeState, EarSonarError> {
         let processed = self.front_end.process(recording)?;
-        self.detector.predict(&processed.features)
+        self.classifier.predict(&processed.features)
     }
 
     /// Classifies an already-processed recording — the second half of
@@ -460,7 +527,17 @@ impl EarSonar {
     ///
     /// Propagates prediction errors.
     pub fn classify(&self, processed: &ProcessedRecording) -> Result<MeeState, EarSonarError> {
-        self.detector.predict(&processed.features)
+        self.classifier.predict(&processed.features)
+    }
+
+    /// The classifier's confidence in its verdict for an
+    /// already-processed recording (backend-native scale in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn confidence(&self, processed: &ProcessedRecording) -> Result<f64, EarSonarError> {
+        self.classifier.confidence(&processed.features)
     }
 
     /// The signal-processing front end.
@@ -468,9 +545,20 @@ impl EarSonar {
         &self.front_end
     }
 
-    /// The fitted detector.
-    pub fn detector(&self) -> &EarSonarDetector {
-        &self.detector
+    /// The fitted reference detector, when this system runs the
+    /// MFCC+k-means backend; `None` for every other backend.
+    pub fn detector(&self) -> Option<&EarSonarDetector> {
+        self.classifier.as_reference()
+    }
+
+    /// The fitted classifier behind the trait boundary.
+    pub fn classifier(&self) -> &dyn Classifier {
+        self.classifier.as_ref()
+    }
+
+    /// Registry name of the backend this system runs.
+    pub fn backend(&self) -> &'static str {
+        self.classifier.backend()
     }
 }
 

@@ -40,6 +40,24 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
 }
 
+/// Cosine similarity `cos(a, b)`, clamped to `[-1, 1]`; zero vectors have
+/// similarity 0 with everything.
+///
+/// This is the one audited implementation behind both
+/// [`cosine`] distance and the Pearson-correlation redundancy test in
+/// [`crate::laplacian::select_top_features_decorrelated`] (applied to
+/// mean-centred columns, cosine similarity *is* Pearson correlation).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(-1.0, 1.0)
+}
+
 /// Cosine distance `1 − cos(a, b)`; zero vectors are at distance 1 from
 /// everything.
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
@@ -93,6 +111,18 @@ mod tests {
     #[test]
     fn manhattan_basics() {
         assert_eq!(manhattan(&[1.0, 2.0], &[4.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_similarity_matches_cosine_distance() {
+        let a = [1.0, -2.0, 3.5];
+        let b = [0.5, 4.0, -1.0];
+        assert_eq!(cosine(&a, &b), 1.0 - cosine_similarity(&a, &b));
+        // Zero-vector conventions: similarity 0, distance 1.
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        // Centred columns: cosine similarity is Pearson correlation.
+        assert!((cosine_similarity(&[-1.0, 0.0, 1.0], &[-2.0, 0.0, 2.0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

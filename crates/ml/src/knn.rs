@@ -76,6 +76,16 @@ impl KnnClassifier {
     ///
     /// Returns [`MlError::DimensionMismatch`] for a wrong-width sample.
     pub fn predict(&self, sample: &[f64]) -> Result<usize, MlError> {
+        self.predict_with_confidence(sample).map(|(class, _)| class)
+    }
+
+    /// [`KnnClassifier::predict`] plus the fraction of the `k` votes the
+    /// winning class received — a cheap confidence in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnnClassifier::predict`].
+    pub fn predict_with_confidence(&self, sample: &[f64]) -> Result<(usize, f64), MlError> {
         if sample.len() != self.data[0].len() {
             return Err(MlError::DimensionMismatch {
                 expected: self.data[0].len(),
@@ -100,10 +110,11 @@ impl KnnClassifier {
             }
         }
         let best_count = votes.iter().max().copied().unwrap_or(0);
-        Ok((0..self.n_classes)
+        let class = (0..self.n_classes)
             .filter(|&c| votes[c] == best_count)
             .min_by(|&a, &b| closest[a].total_cmp(&closest[b]))
-            .unwrap_or(0))
+            .unwrap_or(0);
+        Ok((class, best_count as f64 / k as f64))
     }
 
     /// Predicts a batch of samples.
@@ -118,6 +129,22 @@ impl KnnClassifier {
     /// The `k` this classifier votes over.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The memorized training rows (for persistence).
+    pub fn data(&self) -> &[Vec<f64>] {
+        &self.data
+    }
+
+    /// The memorized training labels, index-aligned with
+    /// [`KnnClassifier::data`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes the labels range over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
     }
 }
 
@@ -174,6 +201,30 @@ mod tests {
         assert!(KnnClassifier::fit(&ragged, &[0, 1], 1, 2).is_err());
         let knn = KnnClassifier::fit(&data, &[0], 1, 2).unwrap();
         assert!(knn.predict(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn confidence_is_the_winning_vote_fraction() {
+        let (data, labels) = two_blobs();
+        let knn = KnnClassifier::fit(&data, &labels, 5, 2).unwrap();
+        // Deep inside blob 0: all 5 neighbours agree.
+        let (class, conf) = knn.predict_with_confidence(&[0.05, 0.0]).unwrap();
+        assert_eq!(class, 0);
+        assert_eq!(conf, 1.0);
+        // Confidence is always in (0, 1] and consistent with predict.
+        let (class, conf) = knn.predict_with_confidence(&[2.5, 2.5]).unwrap();
+        assert_eq!(class, knn.predict(&[2.5, 2.5]).unwrap());
+        assert!(conf > 0.0 && conf <= 1.0);
+        assert!(knn.predict_with_confidence(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_training_set() {
+        let (data, labels) = two_blobs();
+        let knn = KnnClassifier::fit(&data, &labels, 3, 2).unwrap();
+        assert_eq!(knn.data(), data.as_slice());
+        assert_eq!(knn.labels(), labels.as_slice());
+        assert_eq!(knn.n_classes(), 2);
     }
 
     #[test]

@@ -218,16 +218,11 @@ pub fn select_top_features_decorrelated(
         *m /= n;
     }
     let col = |d: usize| -> Vec<f64> { data.iter().map(|r| r[d] - means[d]).collect() };
-    let corr = |a: &[f64], b: &[f64]| -> f64 {
-        let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
-        let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if na == 0.0 || nb == 0.0 {
-            0.0
-        } else {
-            (dot / (na * nb)).clamp(-1.0, 1.0)
-        }
-    };
+    // On mean-centred columns cosine similarity *is* Pearson correlation;
+    // the shared audited implementation in `distance` replaces the inline
+    // duplicate this module used to carry (identical operation order, so
+    // selections are bit-identical).
+    let corr = crate::distance::cosine_similarity;
     let mut order: Vec<usize> = (0..dim).collect();
     order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let want = top_k.min(dim);

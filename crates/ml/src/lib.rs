@@ -15,7 +15,9 @@
 //! * [`metrics`] — precision/recall/F1, confusion matrices, FAR/FRR,
 //! * [`crossval`] — leave-one-participant-out and k-fold splitting,
 //! * [`knn`] / [`silhouette`] — comparison classifier and clustering
-//!   quality analysis used by the ablation harness.
+//!   quality analysis used by the ablation harness,
+//! * [`logistic`] — deterministic multinomial logistic regression for the
+//!   pluggable classifier-backend registry.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod kmeans;
 pub mod knn;
 pub mod labeling;
 pub mod laplacian;
+pub mod logistic;
 pub mod metrics;
 pub mod outlier;
 pub mod pca;

@@ -1,14 +1,16 @@
-//! Schema validation for the unified benchmark report (`BENCH_pr7.json`).
+//! Schema validation for the unified benchmark report (`BENCH_pr8.json`).
 //!
 //! `cargo run -p xtask -- bench-schema` parses the report with a
 //! std-only JSON reader and checks the versioned shape that downstream
 //! consumers (the README table, CI artifacts) rely on: `schema_version`
-//! 2, the named kernel sections with their equivalence labels, the
-//! end-to-end throughput block, and the session-engine load section
-//! (sessions/sec plus p50/p99 latency per worker count). CI runs this
-//! right after `perf_report --smoke` and `engine-bench --smoke`, so
-//! schema drift fails the build without ever asserting on timing values
-//! (which are noise on shared runners).
+//! 3, the named kernel sections with their equivalence labels, the
+//! end-to-end throughput block, the session-engine load section
+//! (sessions/sec plus p50/p99 latency per worker count), and the A/B
+//! `backends` section (baseline vs candidate backends with per-class
+//! precision deltas). CI runs this right after `perf_report --smoke`,
+//! `engine-bench --smoke` and `ab-bench --smoke`, so schema drift fails
+//! the build without ever asserting on timing values (which are noise
+//! on shared runners).
 
 use std::fmt;
 
@@ -236,7 +238,7 @@ pub fn parse_json(text: &str) -> Result<Value, SchemaError> {
     Ok(v)
 }
 
-// ---- the BENCH_pr7 schema ----
+// ---- the BENCH_pr8 schema ----
 
 /// The kernel sections every report must carry, matching the
 /// `KernelRow` names in `perf_report`.
@@ -336,7 +338,119 @@ fn check_engine(v: &Value, errors: &mut Vec<SchemaError>) {
     }
 }
 
-/// Validates a `BENCH_pr7.json` document against schema version 2.
+/// Number of effusion classes; `precision` vectors and confusion
+/// matrices in the `backends` section are sized by it.
+pub const MEE_CLASSES: usize = 4;
+
+/// The reference backend every report's A/B baseline must name.
+pub const REFERENCE_BACKEND: &str = "mfcc-kmeans";
+
+/// Validates one backend score object (baseline or candidate).
+/// Candidates additionally carry delta columns vs the baseline.
+fn check_backend_score(v: &Value, path: &str, candidate: bool, errors: &mut Vec<SchemaError>) {
+    match want(v, path, "name", errors) {
+        Some(Value::Str(_)) => {}
+        Some(other) => errors.push(err(
+            &format!("{path}.name"),
+            format!("expected string, found {}", other.type_name()),
+        )),
+        None => {}
+    }
+    want_num(v, path, "version", errors);
+    want_num(v, path, "accuracy", errors);
+    want_num(v, path, "mean_confidence", errors);
+    want_num(v, path, "dropped", errors);
+    check_class_vector(v, path, "precision", errors);
+    if candidate {
+        check_class_vector(v, path, "precision_delta", errors);
+        want_num(v, path, "accuracy_delta", errors);
+    }
+    if let Some(confusion) = want(v, path, "confusion", errors) {
+        let p = format!("{path}.confusion");
+        let Value::Arr(rows) = confusion else {
+            errors.push(err(
+                &p,
+                format!("expected array, found {}", confusion.type_name()),
+            ));
+            return;
+        };
+        if rows.len() != MEE_CLASSES {
+            errors.push(err(&p, format!("expected {MEE_CLASSES} rows")));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            match row {
+                Value::Arr(cols) if cols.len() == MEE_CLASSES => {}
+                _ => errors.push(err(
+                    &format!("{p}[{i}]"),
+                    format!("expected array of {MEE_CLASSES} counts"),
+                )),
+            }
+        }
+    }
+}
+
+/// A per-class metric vector: exactly one number (or null) per class.
+fn check_class_vector(v: &Value, path: &str, key: &str, errors: &mut Vec<SchemaError>) {
+    let Some(vec) = want(v, path, key, errors) else {
+        return;
+    };
+    let p = format!("{path}.{key}");
+    let Value::Arr(items) = vec else {
+        errors.push(err(&p, format!("expected array, found {}", vec.type_name())));
+        return;
+    };
+    if items.len() != MEE_CLASSES {
+        errors.push(err(&p, format!("expected {MEE_CLASSES} per-class entries")));
+    }
+    for (i, item) in items.iter().enumerate() {
+        if !matches!(item, Value::Num(_) | Value::Null) {
+            errors.push(err(
+                &format!("{p}[{i}]"),
+                format!("expected number, found {}", item.type_name()),
+            ));
+        }
+    }
+}
+
+/// Validates the A/B `backends` section: cohort shape, the reference
+/// baseline score, and at least two candidate scores with delta columns.
+fn check_backends(v: &Value, errors: &mut Vec<SchemaError>) {
+    let p = "$.backends";
+    want_num(v, p, "patients", errors);
+    want_num(v, p, "sessions", errors);
+    want_num(v, p, "seed", errors);
+    if let Some(baseline) = want(v, p, "baseline", errors) {
+        let bp = "$.backends.baseline";
+        check_backend_score(baseline, bp, false, errors);
+        match baseline.get("name") {
+            Some(Value::Str(s)) if s == REFERENCE_BACKEND => {}
+            Some(Value::Str(s)) => errors.push(err(
+                &format!("{bp}.name"),
+                format!("baseline must be \"{REFERENCE_BACKEND}\", found \"{s}\""),
+            )),
+            _ => {}
+        }
+    }
+    let Some(candidates) = want(v, p, "candidates", errors) else {
+        return;
+    };
+    let cp = "$.backends.candidates";
+    let Value::Arr(items) = candidates else {
+        errors.push(err(
+            cp,
+            format!("expected array, found {}", candidates.type_name()),
+        ));
+        return;
+    };
+    if items.len() < 2 {
+        errors.push(err(cp, "expected at least 2 candidate backends"));
+    }
+    for (i, item) in items.iter().enumerate() {
+        check_backend_score(item, &format!("{cp}[{i}]"), true, errors);
+    }
+}
+
+/// Validates a `BENCH_pr8.json` document against schema version 3.
 ///
 /// Checks shape and enumerations only — never timing magnitudes, which
 /// CI runners cannot reproduce. Returns every violation found, empty for
@@ -349,18 +463,18 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
     }
 
     match want(root, "$", "schema_version", &mut errors) {
-        Some(Value::Num(v)) if *v == 2.0 => {}
+        Some(Value::Num(v)) if *v == 3.0 => {}
         Some(other) => errors.push(err(
             "$.schema_version",
-            format!("expected 2, found {other:?}"),
+            format!("expected 3, found {other:?}"),
         )),
         None => {}
     }
     match want(root, "$", "report", &mut errors) {
-        Some(Value::Str(s)) if s == "BENCH_pr7" => {}
+        Some(Value::Str(s)) if s == "BENCH_pr8" => {}
         Some(other) => errors.push(err(
             "$.report",
-            format!("expected \"BENCH_pr7\", found {other:?}"),
+            format!("expected \"BENCH_pr8\", found {other:?}"),
         )),
         None => {}
     }
@@ -455,6 +569,10 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
         want_bool(qg, p, "bit_identical", &mut errors);
     }
 
+    if let Some(backends) = want(root, "$", "backends", &mut errors) {
+        check_backends(backends, &mut errors);
+    }
+
     if let Some(engine) = want(root, "$", "engine", &mut errors) {
         check_engine(engine, &mut errors);
     }
@@ -494,10 +612,30 @@ mod tests {
             })
             .collect::<Vec<_>>()
             .join(", ");
+        let score = |name: &str, candidate: bool| {
+            let deltas = if candidate {
+                "\"precision_delta\": [0.0, 0.0, -0.1, 0.1], \"accuracy_delta\": -0.05, "
+            } else {
+                ""
+            };
+            format!(
+                "{{\"name\": \"{name}\", \"version\": 1, \"accuracy\": 0.9, \
+                 \"mean_confidence\": 0.8, \"dropped\": 0, \
+                 \"precision\": [0.9, 0.8, 0.7, 0.6], {deltas}\
+                 \"confusion\": [[4,0,0,0],[0,4,0,0],[0,0,4,0],[0,0,0,4]]}}"
+            )
+        };
+        let backends = format!(
+            "{{\"patients\": 8, \"sessions\": 64, \"seed\": 7, \"baseline\": {}, \
+             \"candidates\": [{}, {}]}}",
+            score("mfcc-kmeans", false),
+            score("absorbance-logistic", true),
+            score("absorbance-knn", true),
+        );
         format!(
             r#"{{
-  "schema_version": 2,
-  "report": "BENCH_pr7",
+  "schema_version": 3,
+  "report": "BENCH_pr8",
   "mode": "smoke",
   "cores": 1,
   "low_core_host": true,
@@ -515,6 +653,7 @@ mod tests {
     "sweep": [{{"workers": 1, "ns": 5.0, "speedup": 1.0}}], "bit_identical": true}},
   "quality_gate": {{"gated_ns": 2.0, "ungated_ns": 1.9, "overhead_pct": 5.3,
     "bit_identical": true}},
+  "backends": {backends},
   "engine": {{
     "sessions": 64, "shards": 16, "queue_capacity": 32, "chunk_len": 2400,
     "worker_sweep": [{{"workers": 1, "sessions_per_sec": 40.0, "p50_ms": 12.0,
@@ -553,10 +692,76 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_reported() {
-        let doc = conforming().replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let doc = conforming().replace("\"schema_version\": 3", "\"schema_version\": 2");
         let errors = check_report(&doc).unwrap_err();
         assert!(
             errors.iter().any(|e| e.path == "$.schema_version"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_backends_section_is_reported() {
+        let doc = conforming().replace("\"backends\":", "\"backends_renamed\":");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.path == "$.backends"), "{errors:?}");
+    }
+
+    #[test]
+    fn baseline_must_be_the_reference_backend() {
+        let doc = conforming().replace("\"mfcc-kmeans\"", "\"absorbance-knn\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.backends.baseline.name"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn fewer_than_two_candidates_is_rejected() {
+        // Drop the second candidate (", {score-for-absorbance-knn}").
+        let doc = conforming();
+        let knn = doc.find("\"absorbance-knn\"").expect("knn candidate");
+        let start = doc[..knn].rfind(", {").expect("candidate separator");
+        let end = doc[knn..].find("}]").expect("candidates close") + knn + 1;
+        let doc = format!("{}{}", &doc[..start], &doc[end..]);
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.backends.candidates"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn candidates_need_precision_delta_columns() {
+        let doc = conforming().replace("\"precision_delta\"", "\"precision_diff\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path.ends_with(".precision_delta") && e.path.contains("candidates")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn per_class_vectors_must_cover_every_class() {
+        let doc = conforming().replace("[0.9, 0.8, 0.7, 0.6]", "[0.9, 0.8, 0.7]");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path.ends_with(".precision")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn confusion_matrix_must_be_square_in_classes() {
+        let doc = conforming().replacen("[4,0,0,0],", "[4,0,0],", 1);
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path.contains(".confusion[")),
             "{errors:?}"
         );
     }

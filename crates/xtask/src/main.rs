@@ -50,7 +50,7 @@ fn run_lint(root: &Path) -> ExitCode {
 fn run_bench_schema(root: &Path, file: Option<&str>) -> ExitCode {
     let path = match file {
         Some(f) => PathBuf::from(f),
-        None => root.join("BENCH_pr7.json"),
+        None => root.join("BENCH_pr8.json"),
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -62,7 +62,7 @@ fn run_bench_schema(root: &Path, file: Option<&str>) -> ExitCode {
     match xtask::bench_schema::check_report(&text) {
         Ok(()) => {
             println!(
-                "xtask bench-schema OK: {} conforms to schema_version 2 \
+                "xtask bench-schema OK: {} conforms to schema_version 3 \
                  ({} kernel sections)",
                 path.display(),
                 xtask::bench_schema::REQUIRED_KERNELS.len()

@@ -1,0 +1,20 @@
+//! Fixture: backend-registry code that breaks the rules — a panicking
+//! lookup (`unwrap`/`expect`) and a `HashMap` whose iteration order
+//! would make registry listings nondeterministic.
+
+use std::collections::HashMap;
+
+pub trait Classifier {
+    fn predict(&self, features: &[f64]) -> Result<usize, &'static str>;
+}
+
+pub struct Registry {
+    backends: HashMap<String, Box<dyn Classifier>>,
+}
+
+impl Registry {
+    pub fn screen(&self, name: &str, features: &[f64]) -> usize {
+        let backend = self.backends.get(name).unwrap();
+        backend.predict(features).expect("prediction failed")
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: idiomatic backend-registry code. Trait objects, fallible
+//! dispatch, and `BTreeMap` lookup tables must all pass the lint.
+
+use std::collections::BTreeMap;
+
+pub trait Classifier {
+    fn backend(&self) -> &'static str;
+    fn predict(&self, features: &[f64]) -> Result<usize, &'static str>;
+}
+
+pub struct Registry {
+    backends: BTreeMap<&'static str, Box<dyn Classifier>>,
+}
+
+impl Registry {
+    pub fn lookup(&self, name: &str) -> Result<&dyn Classifier, &'static str> {
+        self.backends
+            .get(name)
+            .map(|b| b.as_ref())
+            .ok_or("unknown backend")
+    }
+
+    pub fn screen(&self, name: &str, features: &[f64]) -> Result<usize, &'static str> {
+        self.lookup(name)?.predict(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

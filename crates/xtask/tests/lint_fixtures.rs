@@ -153,6 +153,22 @@ fn layering_engine_ok_workspace_passes_the_full_run() {
 }
 
 #[test]
+fn backend_registry_idiom_is_clean() {
+    // Trait-object dispatch with typed errors and a BTreeMap registry —
+    // the shape `crates/core/src/backend.rs` uses — must lint clean.
+    let (f, _) = scan("backend_ok.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panicking_backend_lookup_and_hashmap_registry_are_rejected() {
+    let (f, _) = scan("backend_bad.rs");
+    let hit = rules_hit(&f);
+    assert!(hit.contains(&rules::RULE_PANIC), "{f:?}");
+    assert!(hit.contains(&rules::RULE_MAP), "{f:?}");
+}
+
+#[test]
 fn simd_remainder_tail_pattern_is_clean_in_hot_paths() {
     // The four-lane kernel idiom (`chunks_exact(4)` + lane array +
     // scalar remainder, and `clear`/`reserve`/`extend` buffer reuse)

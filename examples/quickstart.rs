@@ -31,10 +31,11 @@ fn main() {
     // 3. Train the full pipeline with the paper's configuration.
     let config = EarSonarConfig::default();
     let system = EarSonar::fit(&data.sessions, &config).expect("training");
+    let detector = system.detector().expect("reference backend");
     println!(
         "trained: {} features selected of 105, k = {} clusters",
-        system.detector().selected_features().len(),
-        system.detector().kmeans().k()
+        detector.selected_features().len(),
+        detector.kmeans().k()
     );
 
     // 4. Screen a fresh recording from a new patient (not in training).

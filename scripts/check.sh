@@ -38,10 +38,16 @@ cargo run --release -p earsonar-bench --bin perf_report -- --smoke
 echo "==> engine smoke run: 64 interleaved sessions, fixed seed"
 # Proves engine verdicts equal sequential screening under a seeded
 # interleaving at 1/2/4 workers, then splices the engine section into
-# BENCH_pr7.json. Throughput numbers are informational only.
+# BENCH_pr8.json. Throughput numbers are informational only.
 cargo run --release -p earsonar-bench --bin engine-bench -- --smoke
 
-echo "==> bench-schema: BENCH_pr7.json conforms to schema_version 2"
+echo "==> A/B backend smoke run: candidates vs mfcc-kmeans baseline"
+# Scores the candidate feature/classifier backends against the reference
+# on the same deterministic cohort and folds, then splices the backends
+# section (per-class precision deltas) into BENCH_pr8.json.
+cargo run --release -p earsonar-bench --bin ab-bench -- --smoke
+
+echo "==> bench-schema: BENCH_pr8.json conforms to schema_version 3"
 cargo run -p xtask -- bench-schema
 
 echo "All checks passed."
