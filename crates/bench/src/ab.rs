@@ -5,7 +5,7 @@
 //! MFCC+k-means baseline on the *same* deterministic cohort and the
 //! *same* leave-one-participant-out folds, then renders the comparison as
 //! an ASCII table and as the `backends` section of the unified BENCH
-//! report (`BENCH_pr8.json`, validated by `cargo xtask bench-schema`).
+//! report (`BENCH_pr9.json`, validated by `cargo xtask bench-schema`).
 
 use crate::{standard_dataset, EXPERIMENT_SEED};
 use earsonar::eval::{ab_compare, AbComparison, BackendScore};

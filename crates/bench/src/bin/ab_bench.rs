@@ -3,7 +3,7 @@
 //! deterministic cohort seeds and leave-one-participant-out folds, and
 //! reports per-class precision deltas.
 //!
-//! The resulting `backends` section is spliced into `BENCH_pr8.json`
+//! The resulting `backends` section is spliced into `BENCH_pr9.json`
 //! when the report exists (run `perf_report` first to produce the full
 //! document); without it the section is still printed for inspection.
 //!
@@ -32,19 +32,19 @@ fn main() {
     print_ab_table(&cmp);
 
     let section = backends_section_json(&cmp, patients, sessions);
-    match std::fs::read_to_string("BENCH_pr8.json") {
+    match std::fs::read_to_string("BENCH_pr9.json") {
         Ok(doc) => match splice_section(&doc, "backends", &section) {
             Some(updated) => {
-                std::fs::write("BENCH_pr8.json", updated).expect("write BENCH_pr8.json");
-                println!("\nspliced backends section into BENCH_pr8.json");
+                std::fs::write("BENCH_pr9.json", updated).expect("write BENCH_pr9.json");
+                println!("\nspliced backends section into BENCH_pr9.json");
             }
             None => {
-                println!("\nBENCH_pr8.json has no backends section to splice; run perf_report");
+                println!("\nBENCH_pr9.json has no backends section to splice; run perf_report");
                 println!("backends section:\n\"backends\": {section}");
             }
         },
         Err(_) => {
-            println!("\nBENCH_pr8.json not found; run perf_report to produce the full report");
+            println!("\nBENCH_pr9.json not found; run perf_report to produce the full report");
             println!("backends section:\n\"backends\": {section}");
         }
     }

@@ -5,7 +5,7 @@
 //!
 //! Every run proves its verdicts equal sequential screening before the
 //! numbers mean anything (`equivalent_to_sequential` in the output). The
-//! resulting `engine` section is spliced into `BENCH_pr8.json` when the
+//! resulting `engine` section is spliced into `BENCH_pr9.json` when the
 //! report exists (run `perf_report` first to produce the full document);
 //! without it the section is still printed for inspection.
 //!
@@ -75,19 +75,19 @@ fn main() {
     }
 
     let section = engine_section_json(&spec, &reports);
-    match std::fs::read_to_string("BENCH_pr8.json") {
+    match std::fs::read_to_string("BENCH_pr9.json") {
         Ok(doc) => match splice_engine_section(&doc, &section) {
             Some(updated) => {
-                std::fs::write("BENCH_pr8.json", updated).expect("write BENCH_pr8.json");
-                println!("\nspliced engine section into BENCH_pr8.json");
+                std::fs::write("BENCH_pr9.json", updated).expect("write BENCH_pr9.json");
+                println!("\nspliced engine section into BENCH_pr9.json");
             }
             None => {
-                println!("\nBENCH_pr8.json has no engine section to splice; run perf_report");
+                println!("\nBENCH_pr9.json has no engine section to splice; run perf_report");
                 println!("engine section:\n\"engine\": {section}");
             }
         },
         Err(_) => {
-            println!("\nBENCH_pr8.json not found; run perf_report to produce the full report");
+            println!("\nBENCH_pr9.json not found; run perf_report to produce the full report");
             println!("engine section:\n\"engine\": {section}");
         }
     }

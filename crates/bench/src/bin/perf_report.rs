@@ -4,7 +4,7 @@
 //! session-engine load sweep (sessions/sec, p50/p99 latency), plus the
 //! A/B backend comparison (candidate backends vs the MFCC+k-means
 //! baseline on identical cohort seeds), written as one versioned JSON
-//! document, `BENCH_pr8.json`.
+//! document, `BENCH_pr9.json`.
 //!
 //! Every kernel row verifies its equivalence contract **before** timing:
 //! `bit_identical` rows are `assert_eq!`-checked, `ulp_bounded` rows are
@@ -15,7 +15,7 @@
 //! a ~1.0x parallel "speedup" reflects the hardware, not the
 //! implementation — single-core kernel speedups are the portable story.
 //!
-//! The JSON schema (`schema_version` 3) is documented in DESIGN.md and
+//! The JSON schema (`schema_version` 4) is documented in DESIGN.md and
 //! validated by `cargo run -p xtask -- bench-schema`; CI runs the
 //! `--smoke` mode (or set `EARSONAR_BENCH_SMOKE`), which performs all
 //! equivalence checks with reduced timing budgets.
@@ -682,8 +682,8 @@ fn main() {
     // ---- the unified report (hand-rolled JSON: no serde in budget) ----
 
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema_version\": 3,");
-    let _ = writeln!(json, "  \"report\": \"BENCH_pr8\",");
+    let _ = writeln!(json, "  \"schema_version\": 4,");
+    let _ = writeln!(json, "  \"report\": \"BENCH_pr9\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"low_core_host\": {low_core},");
@@ -803,7 +803,7 @@ fn main() {
         engine_section_json(&engine_spec, &engine_reports)
     );
     json.push_str("}\n");
-    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
 
-    println!("\nwrote BENCH_pr8.json (schema_version 3)");
+    println!("\nwrote BENCH_pr9.json (schema_version 4)");
 }

@@ -207,7 +207,7 @@ pub fn run_load(system: &EarSonar, recordings: &[Recording], spec: &LoadSpec) ->
     }
 }
 
-/// Renders the `engine` section of `BENCH_pr8.json` from one sweep.
+/// Renders the `engine` section of `BENCH_pr9.json` from one sweep.
 ///
 /// `reports` must share a session count and engine shape (one spec, many
 /// worker counts); the section carries the shape once plus one

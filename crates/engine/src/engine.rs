@@ -482,3 +482,35 @@ impl<'a> ScreeningEngine<'a> {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::lock;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_the_guard_from_a_poisoned_mutex() {
+        let m = Mutex::new(41u64);
+
+        // Poison the mutex: panic while holding its guard on this thread.
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("worker panicked while holding the lock");
+        }));
+        assert!(panicked.is_err());
+        assert!(m.is_poisoned(), "the panic above must poison the mutex");
+
+        // The helper's `Err(poisoned)` arm: hand back a usable guard
+        // instead of amplifying the dead thread's panic into this one.
+        let mut guard = lock(&m);
+        *guard += 1;
+        assert_eq!(*guard, 42);
+        drop(guard);
+
+        // Recovery is repeatable — the mutex stays poisoned, and the
+        // helper keeps working.
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 42);
+    }
+}

@@ -27,7 +27,12 @@
 //! partition-invariant stream API and resolve through the same
 //! [`earsonar::screening::resolve_stream`] decision sequence, and the
 //! scratch is a pure buffer pool. The `engine_equivalence` integration
-//! tests pin this with seeded-shuffle interleavings.
+//! tests pin this with seeded-shuffle interleavings, and the
+//! [`schedule`] module turns the contract into a harness: bounded
+//! exhaustive enumeration of every delivery order for small session
+//! counts, seeded-random sampling beyond, each replayed through
+//! [`schedule::replay`] with verdict bit-identity and queue-accounting
+//! invariants checked (`schedule_exploration` integration tests).
 //!
 //! # Example
 //!
@@ -56,8 +61,10 @@
 
 pub mod config;
 pub mod engine;
+pub mod schedule;
 pub mod session;
 
 pub use config::EngineConfig;
 pub use engine::{EngineStats, ScreeningEngine};
+pub use schedule::{Exploration, Replay, Schedule, ScheduleError};
 pub use session::{CompletedSession, Rejected, SessionId};

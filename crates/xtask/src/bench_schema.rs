@@ -1,16 +1,17 @@
-//! Schema validation for the unified benchmark report (`BENCH_pr8.json`).
+//! Schema validation for the unified benchmark report (`BENCH_pr9.json`).
 //!
 //! `cargo run -p xtask -- bench-schema` parses the report with a
 //! std-only JSON reader and checks the versioned shape that downstream
 //! consumers (the README table, CI artifacts) rely on: `schema_version`
-//! 3, the named kernel sections with their equivalence labels, the
+//! 4, the named kernel sections with their equivalence labels, the
 //! end-to-end throughput block, the session-engine load section
-//! (sessions/sec plus p50/p99 latency per worker count), and the A/B
+//! (sessions/sec plus p50/p99 latency per worker count), the A/B
 //! `backends` section (baseline vs candidate backends with per-class
-//! precision deltas). CI runs this right after `perf_report --smoke`,
-//! `engine-bench --smoke` and `ab-bench --smoke`, so schema drift fails
-//! the build without ever asserting on timing values (which are noise
-//! on shared runners).
+//! precision deltas), and the `lint` section (rule/waiver counts spliced
+//! in by `xtask lint --report`). CI runs this right after
+//! `perf_report --smoke`, `engine-bench --smoke`, `ab-bench --smoke` and
+//! the lint splice, so schema drift fails the build without ever
+//! asserting on timing values (which are noise on shared runners).
 
 use std::fmt;
 
@@ -238,7 +239,7 @@ pub fn parse_json(text: &str) -> Result<Value, SchemaError> {
     Ok(v)
 }
 
-// ---- the BENCH_pr8 schema ----
+// ---- the BENCH_pr9 schema ----
 
 /// The kernel sections every report must carry, matching the
 /// `KernelRow` names in `perf_report`.
@@ -450,7 +451,43 @@ fn check_backends(v: &Value, errors: &mut Vec<SchemaError>) {
     }
 }
 
-/// Validates a `BENCH_pr8.json` document against schema version 3.
+/// Validates the `lint` section spliced in by `xtask lint --report`:
+/// static-analysis coverage counts and the waiver inventory, so a report
+/// generated without the lint pass (or with a stale splicer) fails CI.
+fn check_lint(v: &Value, errors: &mut Vec<SchemaError>) {
+    let p = "$.lint";
+    want_num(v, p, "version", errors);
+    want_num(v, p, "files_scanned", errors);
+    want_num(v, p, "crates_scanned", errors);
+    want_num(v, p, "hot_functions", errors);
+    want_num(v, p, "findings", errors);
+    want_num(v, p, "waivers", errors);
+    want_num(v, p, "lock_edges", errors);
+    let Some(rw) = want(v, p, "rule_waivers", errors) else {
+        return;
+    };
+    let rp = "$.lint.rule_waivers";
+    let Value::Obj(pairs) = rw else {
+        errors.push(err(rp, format!("expected object, found {}", rw.type_name())));
+        return;
+    };
+    for (rule, count) in pairs {
+        if !crate::rules::WAIVABLE_RULES.contains(&rule.as_str()) {
+            errors.push(err(
+                &format!("{rp}.{rule}"),
+                format!("`{rule}` is not a waivable rule"),
+            ));
+        }
+        if !matches!(count, Value::Num(n) if *n >= 0.0) {
+            errors.push(err(
+                &format!("{rp}.{rule}"),
+                format!("expected count >= 0, found {}", count.type_name()),
+            ));
+        }
+    }
+}
+
+/// Validates a `BENCH_pr9.json` document against schema version 4.
 ///
 /// Checks shape and enumerations only — never timing magnitudes, which
 /// CI runners cannot reproduce. Returns every violation found, empty for
@@ -463,18 +500,18 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
     }
 
     match want(root, "$", "schema_version", &mut errors) {
-        Some(Value::Num(v)) if *v == 3.0 => {}
+        Some(Value::Num(v)) if *v == 4.0 => {}
         Some(other) => errors.push(err(
             "$.schema_version",
-            format!("expected 3, found {other:?}"),
+            format!("expected 4, found {other:?}"),
         )),
         None => {}
     }
     match want(root, "$", "report", &mut errors) {
-        Some(Value::Str(s)) if s == "BENCH_pr8" => {}
+        Some(Value::Str(s)) if s == "BENCH_pr9" => {}
         Some(other) => errors.push(err(
             "$.report",
-            format!("expected \"BENCH_pr8\", found {other:?}"),
+            format!("expected \"BENCH_pr9\", found {other:?}"),
         )),
         None => {}
     }
@@ -577,6 +614,10 @@ pub fn validate(root: &Value) -> Vec<SchemaError> {
         check_engine(engine, &mut errors);
     }
 
+    if let Some(lint) = want(root, "$", "lint", &mut errors) {
+        check_lint(lint, &mut errors);
+    }
+
     errors
 }
 
@@ -634,8 +675,8 @@ mod tests {
         );
         format!(
             r#"{{
-  "schema_version": 3,
-  "report": "BENCH_pr8",
+  "schema_version": 4,
+  "report": "BENCH_pr9",
   "mode": "smoke",
   "cores": 1,
   "low_core_host": true,
@@ -659,6 +700,11 @@ mod tests {
     "worker_sweep": [{{"workers": 1, "sessions_per_sec": 40.0, "p50_ms": 12.0,
       "p99_ms": 30.0, "peak_in_flight": 64}}],
     "best_sessions_per_sec": 40.0, "equivalent_to_sequential": true
+  }},
+  "lint": {{
+    "version": 1, "files_scanned": 136, "crates_scanned": 11,
+    "hot_functions": 42, "findings": 0, "waivers": 18, "lock_edges": 0,
+    "rule_waivers": {{"panic": 9, "hot-path-alloc": 7, "wall-clock": 2}}
   }}
 }}"#
         )
@@ -692,10 +738,49 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_reported() {
-        let doc = conforming().replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let doc = conforming().replace("\"schema_version\": 4", "\"schema_version\": 3");
         let errors = check_report(&doc).unwrap_err();
         assert!(
             errors.iter().any(|e| e.path == "$.schema_version"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_lint_section_is_reported() {
+        // A report generated by the bench binaries alone, without the
+        // `xtask lint --report` splice, must fail the schema gate.
+        let doc = conforming().replace("\"lint\":", "\"lint_renamed\":");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.path == "$.lint"), "{errors:?}");
+    }
+
+    #[test]
+    fn lint_rule_waivers_must_name_waivable_rules() {
+        let doc = conforming().replace("\"wall-clock\": 2", "\"layering\": 2");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path == "$.lint.rule_waivers.layering"),
+            "{errors:?}"
+        );
+        let doc = conforming().replace("\"wall-clock\": 2", "\"wall-clock\": \"two\"");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.path == "$.lint.rule_waivers.wall-clock"),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn lint_section_needs_the_waiver_inventory() {
+        let doc = conforming().replace("\"rule_waivers\":", "\"per_rule\":");
+        let errors = check_report(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.path == "$.lint.rule_waivers"),
             "{errors:?}"
         );
     }

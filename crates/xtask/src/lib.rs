@@ -1,11 +1,15 @@
 //! `xtask` — the workspace invariant checker.
 //!
-//! Two subcommands:
+//! Subcommands:
 //!
 //! * `cargo run -p xtask -- lint` enforces source/manifest invariants
-//!   (table below).
+//!   (table below). `--waivers` switches to the audit mode: print every
+//!   registered waiver with rule, location, and reason, and fail on
+//!   stale or reason-less ones. `--report FILE` splices a versioned
+//!   `lint` section (rule/waiver counts) into the unified benchmark
+//!   report after a clean run.
 //! * `cargo run -p xtask -- bench-schema [FILE]` validates the unified
-//!   benchmark report (`BENCH_pr6.json`) against its versioned schema —
+//!   benchmark report (`BENCH_pr9.json`) against its versioned schema —
 //!   shape and enumerations only, never timing magnitudes.
 //!
 //! `lint` enforces, on every source file and manifest of the workspace,
@@ -19,6 +23,9 @@
 //! | `nondeterministic-map`  | no `HashMap`/`HashSet` in result-producing crates |
 //! | `wall-clock`            | no `Instant::now`/`SystemTime` outside bench and the CLI |
 //! | `ambient-rng`           | no `rand` outside the `DetRng` modules |
+//! | `lock-order`            | no lock-acquisition-order cycle anywhere in the workspace |
+//! | `guard-across-blocking` | no guard held across a blocking call in a hot-path function |
+//! | `bare-lock`             | no `.lock().unwrap()`/`.lock().expect(…)` in shipped code |
 //! | `layering`              | `earsonar-sim` never in the normal-dep closure of core/ml/signal |
 //! | `unsafe-header`         | every library root carries `#![forbid(unsafe_code)]` |
 //! | `directive`             | lint directives parse, waivers carry reasons, none are stale |
@@ -35,5 +42,6 @@
 pub mod bench_schema;
 pub mod lexer;
 pub mod lint;
+pub mod locks;
 pub mod manifest;
 pub mod rules;

@@ -1,8 +1,9 @@
 //! Orchestration: walk the workspace, scope the rule families per crate,
 //! scan every source file, and check the manifest-level invariants.
 
+use crate::locks;
 use crate::manifest::{self, Member};
-use crate::rules::{self, Finding, RuleSet, ScanStats};
+use crate::rules::{self, Finding, RuleSet, WaiverRecord, RULE_DIRECTIVE};
 use std::path::{Path, PathBuf};
 
 /// The full result of one lint run.
@@ -18,6 +19,12 @@ pub struct Report {
     pub hot_functions: usize,
     /// Waivers that suppressed a violation (each carries a reason).
     pub waivers_used: usize,
+    /// Every registered waiver with its reason, in (file, line) order —
+    /// the `--waivers` audit inventory.
+    pub waivers: Vec<WaiverRecord>,
+    /// Lock-acquisition ordering edges observed across the workspace
+    /// (post test-region filtering), for diagnostics.
+    pub lock_edges: usize,
 }
 
 impl Report {
@@ -25,6 +32,67 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// Renders the versioned `lint` section of the unified benchmark
+    /// report: coverage counts plus the per-rule waiver inventory, in
+    /// the shape `bench_schema::check_lint` validates.
+    pub fn section_json(&self) -> String {
+        let mut rule_waivers = String::new();
+        for rule in rules::WAIVABLE_RULES {
+            let n = self.waivers.iter().filter(|w| w.rule == *rule).count();
+            if n == 0 {
+                continue;
+            }
+            if !rule_waivers.is_empty() {
+                rule_waivers.push_str(", ");
+            }
+            rule_waivers.push_str(&format!("\"{rule}\": {n}"));
+        }
+        format!(
+            "{{\n    \"version\": 1,\n    \"files_scanned\": {},\n    \
+             \"crates_scanned\": {},\n    \"hot_functions\": {},\n    \
+             \"findings\": {},\n    \"waivers\": {},\n    \
+             \"lock_edges\": {},\n    \"rule_waivers\": {{{rule_waivers}}}\n  }}",
+            self.files_scanned,
+            self.crates_scanned,
+            self.hot_functions,
+            self.findings.len(),
+            self.waivers_used,
+            self.lock_edges,
+        )
+    }
+}
+
+/// Inserts or replaces the top-level `"lint"` section of an existing
+/// report document. The bench binaries never emit the key, so unlike the
+/// bench crate's `splice_section` this must handle the insert case: the
+/// section is appended before the document's closing brace.
+pub fn splice_lint_section(doc: &str, section: &str) -> Option<String> {
+    if let Some(key) = doc.find("\"lint\"") {
+        // Replace: balance braces from the key's object opening.
+        let open = key + doc[key..].find('{')?;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, c) in doc[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close?;
+        return Some(format!("{}{section}{}", &doc[..open], &doc[close + 1..]));
+    }
+    // Insert: before the final closing brace of the root object.
+    let end = doc.rfind('}')?;
+    let body = doc[..end].trim_end();
+    Some(format!("{body},\n  \"lint\": {section}\n}}\n"))
 }
 
 /// The rule families that apply to a crate, by package name.
@@ -58,6 +126,9 @@ pub fn ruleset_for(crate_name: &str) -> RuleSet {
         maps,
         wall_clock: !timing_crate,
         rng: crate_name != "xtask",
+        // Concurrency discipline is workspace-wide: a deadlock in a
+        // support crate stalls the same process as one in the engine.
+        locks: true,
     }
 }
 
@@ -104,10 +175,34 @@ pub fn run(root: &Path) -> Result<Report, String> {
         report.findings.push(f);
     }
 
+    // Cross-file state: the lock-order relation only exists once every
+    // member's acquisition edges are combined.
+    let mut edges: Vec<locks::Edge> = Vec::new();
+    let mut order_waivers: Vec<locks::OrderWaiver> = Vec::new();
+
     for member in &members {
         report.crates_scanned += 1;
-        scan_member(root, member, &mut report)?;
+        scan_member(root, member, &mut report, &mut edges, &mut order_waivers)?;
     }
+
+    // Global lock-order resolution: cycles across the whole workspace,
+    // waivers applied at their acquisition sites, stale waivers flagged.
+    report
+        .findings
+        .extend(locks::finish_order(&edges, &mut order_waivers));
+    for w in &order_waivers {
+        if w.used {
+            report.waivers_used += 1;
+        } else {
+            report.findings.push(Finding {
+                file: w.file.clone(),
+                line: w.directive_line,
+                rule: RULE_DIRECTIVE,
+                message: "waiver for `lock-order` suppresses nothing — remove it".to_string(),
+            });
+        }
+    }
+    report.lock_edges = edges.len();
 
     report.findings.sort_by(|a, b| {
         a.file
@@ -115,10 +210,19 @@ pub fn run(root: &Path) -> Result<Report, String> {
             .then(a.line.cmp(&b.line))
             .then(a.rule.cmp(b.rule))
     });
+    report
+        .waivers
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(report)
 }
 
-fn scan_member(root: &Path, member: &Member, report: &mut Report) -> Result<(), String> {
+fn scan_member(
+    root: &Path,
+    member: &Member,
+    report: &mut Report,
+    edges: &mut Vec<locks::Edge>,
+    order_waivers: &mut Vec<locks::OrderWaiver>,
+) -> Result<(), String> {
     let rules = ruleset_for(&member.name);
 
     // Source rules cover shipped code only: `src/` trees. Integration
@@ -137,8 +241,13 @@ fn scan_member(root: &Path, member: &Member, report: &mut Report) -> Result<(), 
             file_rules.rng = false;
         }
         let label = rel_label(root, path);
-        let (findings, stats) = rules::scan_source(&label, &text, file_rules);
-        merge(report, findings, stats);
+        let out = rules::scan_source_model(&label, &text, file_rules);
+        report.findings.extend(out.findings);
+        report.hot_functions += out.stats.hot_functions;
+        report.waivers_used += out.stats.waivers_used;
+        report.waivers.extend(out.waivers);
+        edges.extend(out.edges);
+        order_waivers.extend(out.order_waivers);
     }
 
     // Header hygiene: every library root forbids unsafe code.
@@ -152,8 +261,70 @@ fn scan_member(root: &Path, member: &Member, report: &mut Report) -> Result<(), 
     Ok(())
 }
 
-fn merge(report: &mut Report, findings: Vec<Finding>, stats: ScanStats) {
-    report.findings.extend(findings);
-    report.hot_functions += stats.hot_functions;
-    report.waivers_used += stats.waivers_used;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            files_scanned: 3,
+            crates_scanned: 2,
+            hot_functions: 1,
+            waivers_used: 2,
+            waivers: vec![
+                WaiverRecord {
+                    file: "a.rs".into(),
+                    line: 4,
+                    rule: rules::RULE_PANIC.into(),
+                    reason: "checked above".into(),
+                },
+                WaiverRecord {
+                    file: "b.rs".into(),
+                    line: 9,
+                    rule: rules::RULE_PANIC.into(),
+                    reason: "startup only".into(),
+                },
+            ],
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn section_json_validates_against_the_bench_schema() {
+        let section = sample_report().section_json();
+        let doc = format!(
+            "{{\"schema_version\": 4, \"lint\": {section}}}"
+        );
+        let v = crate::bench_schema::parse_json(&doc).expect("section parses");
+        let lint = v.get("lint").expect("lint key");
+        assert!(matches!(
+            lint.get("rule_waivers").and_then(|r| r.get("panic")),
+            Some(crate::bench_schema::Value::Num(n)) if *n == 2.0
+        ));
+        assert!(matches!(
+            lint.get("findings"),
+            Some(crate::bench_schema::Value::Num(n)) if *n == 0.0
+        ));
+    }
+
+    #[test]
+    fn splice_replaces_an_existing_lint_section() {
+        let doc = "{\n  \"schema_version\": 4,\n  \"lint\": {\n    \"old\": {\"x\": 1}\n  },\n  \"tail\": true\n}\n";
+        let out = splice_lint_section(doc, "{\"fresh\": 1}").unwrap();
+        assert!(out.contains("\"fresh\": 1"));
+        assert!(!out.contains("\"old\""));
+        assert!(out.contains("\"tail\": true"));
+    }
+
+    #[test]
+    fn splice_inserts_when_the_section_is_missing() {
+        let doc = "{\n  \"schema_version\": 4,\n  \"engine\": {\"keep\": 2}\n}\n";
+        let out = splice_lint_section(doc, "{\"version\": 1}").unwrap();
+        assert!(out.contains("\"lint\": {\"version\": 1}"));
+        assert!(out.contains("\"keep\": 2"));
+        assert!(
+            crate::bench_schema::parse_json(&out).is_ok(),
+            "spliced document must stay valid JSON: {out}"
+        );
+    }
 }

@@ -1,0 +1,914 @@
+//! The concurrency-discipline pass: a per-function lock-acquisition
+//! model over the stripped source.
+//!
+//! The engine's concurrency contract is convention until something
+//! checks it. This module builds, from the same [`crate::lexer`]-stripped
+//! lines the other rules scan, a model of every `Mutex` in the workspace
+//! and how each function acquires them, then enforces three rules:
+//!
+//! * **`lock-order`** — a global acquisition-order relation. Every time a
+//!   guard of class `A` is live while a guard of class `B` is acquired,
+//!   the pass records the edge `A -> B`. Any edge that sits on a cycle in
+//!   the workspace-wide relation (including a self-edge: two guards of
+//!   the same class at once) is a finding — two threads walking the cycle
+//!   from opposite ends deadlock.
+//! * **`guard-across-blocking`** — inside `// lint: hot-path` functions,
+//!   no guard may be live across a blocking call (`thread::scope`,
+//!   `spawn`, `join`, channel `send`/`recv`, sleeps, file I/O). A blocked
+//!   holder stalls every thread contending for that lock — exactly the
+//!   tail-latency cliff the hot-path marker exists to prevent.
+//! * **`bare-lock`** — no `.lock().unwrap()` / `.lock().expect(…)`
+//!   anywhere in shipped source. A bare unwrap on a lock turns another
+//!   thread's panic into this thread's panic; the engine's
+//!   poison-recovering `lock()` helper recovers the guard instead. This
+//!   rule rides the ordinary pattern engine in [`crate::rules`]; the
+//!   model below powers the other two.
+//!
+//! Lock **classes** are field or static names whose declared type
+//! mentions `Mutex<` (`ledger: Mutex<Ledger>` and
+//! `shards: Vec<Mutex<…>>` give classes `ledger` and `shards`), plus
+//! `let`-bound locals initialized with `Mutex::new`. An acquisition is
+//! resolved to a class through the expression text: a direct field
+//! mention, a helper function whose return type is `&Mutex` (resolved to
+//! the field its body returns), or a local alias bound from either. An
+//! acquisition that resolves to no known class still counts for
+//! `bare-lock` but never fabricates an ordering edge — the pass
+//! under-approximates rather than guesses.
+//!
+//! Guard lifetimes are block-scoped: a `let`-bound guard is live from
+//! its binding to the end of the enclosing block (or an explicit
+//! `drop(name)`); a guard used as a temporary (`lock(&self.x).field`)
+//! is live only on its own statement line. This mirrors how the borrow
+//! checker scopes the real guards, so the model neither misses a held
+//! lock nor invents one that was already released.
+
+use crate::lexer::Stripped;
+use crate::rules::{Finding, RULE_GUARD_BLOCKING, RULE_LOCK_ORDER};
+
+/// Calls the pass treats as blocking while a guard is held.
+pub const BLOCKING_PATTERNS: &[&str] = &[
+    "thread::scope",
+    "thread::sleep",
+    ".spawn(",
+    ".join()",
+    ".recv(",
+    ".send(",
+    ".recv_timeout(",
+    "File::open",
+    "File::create",
+    "read_to_string(",
+    "write_all(",
+    "copy(",
+    "stdin(",
+];
+
+/// One observed "`held` was live while `acquired` was taken" event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Workspace-relative file of the acquisition site.
+    pub file: String,
+    /// 1-based line of the acquisition of `acquired`.
+    pub line: usize,
+    /// Lock class already held at that point.
+    pub held: String,
+    /// Lock class being acquired.
+    pub acquired: String,
+}
+
+/// A waiver for the `lock-order` rule, deferred until the workspace-wide
+/// relation is resolved (a single file cannot know whether its edge sits
+/// on a cycle).
+#[derive(Debug, Clone)]
+pub struct OrderWaiver {
+    /// File holding the directive.
+    pub file: String,
+    /// Line the waiver targets (the acquisition site).
+    pub target_line: usize,
+    /// Line of the directive comment itself.
+    pub directive_line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Set by [`finish_order`] when the waiver suppressed an edge finding.
+    pub used: bool,
+}
+
+/// Everything the per-file scan produces for the cross-file phase.
+#[derive(Debug, Default)]
+pub struct FileLockModel {
+    /// Ordering edges observed in this file.
+    pub edges: Vec<Edge>,
+    /// `guard-across-blocking` findings (pre-waiver; the caller applies
+    /// the file's waiver list so suppression follows the shared rules).
+    pub local_findings: Vec<Finding>,
+}
+
+/// A lock-class model for one file: class names, helper-function
+/// resolution, and per-function scan state.
+struct ClassModel {
+    /// Field/static/local lock classes declared in this file.
+    classes: Vec<String>,
+    /// Helper functions returning `&Mutex`, mapped to the class their
+    /// body resolves to (e.g. `shard_of` -> `shards`).
+    helpers: Vec<(String, String)>,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whole-word occurrence check: `needle` appears in `hay` with no
+/// identifier character on either side.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle).is_some()
+}
+
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+/// The identifier immediately before `col` in `text`, if any.
+fn ident_before(text: &str, col: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let mut end = col;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    (start < end).then(|| &text[start..end])
+}
+
+/// Collects the file's lock classes: struct fields and statics whose
+/// type mentions `Mutex<`, plus locals bound from `Mutex::new`.
+fn collect_classes(stripped: &Stripped) -> Vec<String> {
+    let mut classes: Vec<String> = Vec::new();
+    let add = |name: Option<&str>, classes: &mut Vec<String>| {
+        if let Some(name) = name {
+            if name != "static" && name != "let" && name != "mut" && !classes.iter().any(|c| c == name) {
+                classes.push(name.to_string());
+            }
+        }
+    };
+    for text in &stripped.lines {
+        // `let table = Mutex::new(…)` — class named by the binding.
+        if text.contains("Mutex::new") {
+            if let Some(let_at) = find_word(text, "let") {
+                let head = &text[let_at..];
+                let name = head
+                    .find('=')
+                    .and_then(|eq| ident_before(head, eq))
+                    .filter(|_| head.find("Mutex::new") > head.find('='));
+                add(name, &mut classes);
+            }
+        }
+        // Fields and statics: every `name: …Mutex<…>` on the line. A
+        // function signature mentions Mutex in parameter or return
+        // position; parameters are not lock classes and return types are
+        // handled by the helper map.
+        if contains_word(text, "fn") {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(p) = text[from..].find("Mutex<") {
+            let mutex_at = from + p;
+            from = mutex_at + 6;
+            // Find the last single `:` before the type (skipping `::`
+            // path separators) — it ends the field/static name.
+            let head = &text[..mutex_at];
+            let bytes = head.as_bytes();
+            let mut colon = None;
+            let mut i = 0;
+            while i < bytes.len() {
+                if bytes[i] == b':' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                        i += 2;
+                        continue;
+                    }
+                    colon = Some(i);
+                }
+                i += 1;
+            }
+            add(colon.and_then(|c| ident_before(head, c)), &mut classes);
+        }
+    }
+    classes
+}
+
+/// Maps helper functions returning `&Mutex` to the lock class their body
+/// resolves to, so `lock(self.shard_of(id))` counts as acquiring
+/// `shards`.
+fn collect_helpers(stripped: &Stripped, classes: &[String]) -> Vec<(String, String)> {
+    let mut helpers = Vec::new();
+    for (idx, text) in stripped.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if !text.contains("Mutex<") || !text.contains("->") {
+            continue;
+        }
+        let Some(fn_col) = crate::rules::find_fn_token(text) else {
+            continue;
+        };
+        // Return type must be a Mutex reference, not a guard.
+        match text.find("->") {
+            Some(a) if text[a..].contains("Mutex<") => {}
+            _ => continue,
+        }
+        let after_fn = &text[fn_col + 2..];
+        let name: String = after_fn
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(end) = crate::rules::item_end(stripped, line_no, fn_col) else {
+            continue;
+        };
+        for l in line_no..=end {
+            let body = stripped.line(l);
+            for class in classes {
+                if contains_word(body, class) && (l != line_no || body.find(class) > text.find("Mutex<")) {
+                    helpers.push((name.clone(), class.clone()));
+                    break;
+                }
+            }
+            if helpers.last().is_some_and(|(n, _)| *n == name) {
+                break;
+            }
+        }
+    }
+    helpers
+}
+
+/// One live guard inside a function scan.
+struct Guard {
+    class: String,
+    /// Binding name (`None` for a temporary live only on its own line).
+    name: Option<String>,
+    /// Brace depth the binding's block was at; the guard dies when the
+    /// scan's depth drops below it.
+    depth: usize,
+}
+
+/// One acquisition found on a line.
+struct Acquisition {
+    class: Option<String>,
+    /// Column of the call, for left-to-right ordering within a line.
+    col: usize,
+    /// `true` when the acquisition is the whole initializer of a `let`
+    /// binding (the guard lives to end of block), `false` for a
+    /// temporary that dies with its statement.
+    bound: Option<String>,
+}
+
+/// Extracts the balanced-paren argument starting at the `(` at `col`.
+fn paren_arg(text: &str, col: usize) -> &str {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes.get(col), Some(&b'('));
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(col) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &text[col + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &text[col + 1..]
+}
+
+/// The receiver expression ending just before `col` (the `.` of
+/// `.lock()`): walks backward over identifiers, field paths, and
+/// balanced index/call brackets.
+fn receiver_before(text: &str, col: usize) -> &str {
+    let bytes = text.as_bytes();
+    let mut i = col;
+    let mut depth = 0usize;
+    while i > 0 {
+        let b = bytes[i - 1];
+        match b {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b'.' | b'&' => {}
+            _ if is_ident_char(b) => {}
+            _ => {
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        i -= 1;
+    }
+    &text[i..col]
+}
+
+/// Resolves an acquisition expression to a lock class.
+fn resolve_class(
+    expr: &str,
+    model: &ClassModel,
+    aliases: &[(String, String)],
+) -> Option<String> {
+    for (helper, class) in &model.helpers {
+        if let Some(at) = find_word(expr, helper) {
+            if expr[at + helper.len()..].trim_start().starts_with('(') {
+                return Some(class.clone());
+            }
+        }
+    }
+    for class in &model.classes {
+        if contains_word(expr, class) {
+            return Some(class.clone());
+        }
+    }
+    for (alias, class) in aliases.iter().rev() {
+        if contains_word(expr, alias) {
+            return Some(class.clone());
+        }
+    }
+    None
+}
+
+/// Finds every acquisition on a stripped line: helper calls `lock(…)`
+/// and method calls `….lock()`.
+fn acquisitions_on(
+    text: &str,
+    model: &ClassModel,
+    aliases: &[(String, String)],
+) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    // Helper calls: a bare `lock(` not preceded by `.` or an identifier
+    // character, and not the helper's own definition.
+    let mut from = 0;
+    while let Some(p) = text[from..].find("lock(") {
+        let at = from + p;
+        from = at + 5;
+        let bytes = text.as_bytes();
+        let before_ok = at == 0 || (!is_ident_char(bytes[at - 1]) && bytes[at - 1] != b'.');
+        if !before_ok || contains_word(&text[..at], "fn") {
+            continue;
+        }
+        let arg = paren_arg(text, at + 4);
+        out.push(Acquisition {
+            class: resolve_class(arg, model, aliases),
+            col: at,
+            bound: binding_for(text, at),
+        });
+    }
+    // Method calls: `EXPR.lock()` — the binding check starts at the
+    // receiver, which is part of the initializer expression.
+    let mut from = 0;
+    while let Some(p) = text[from..].find(".lock()") {
+        let at = from + p;
+        from = at + 7;
+        let recv = receiver_before(text, at);
+        out.push(Acquisition {
+            class: resolve_class(recv, model, aliases),
+            col: at,
+            bound: binding_for(text, at - recv.len()),
+        });
+    }
+    out.sort_by_key(|a| a.col);
+    out
+}
+
+/// If the acquisition at `col` initializes a `let` binding whose value
+/// *is* the guard (possibly through `.unwrap()`/`.expect(…)`), returns
+/// the binding name. `let x = lock(&m).field;` is a temporary — the
+/// guard dies with the statement — so it returns `None`.
+fn binding_for(text: &str, col: usize) -> Option<String> {
+    let head = &text[..col];
+    let let_at = find_word(head, "let")?;
+    let eq = head[let_at..].find('=').map(|e| let_at + e)?;
+    // Nothing but whitespace/deref/reference tokens between `=` and the
+    // acquisition: the guard is the whole initializer's base.
+    if !head[eq + 1..]
+        .trim()
+        .trim_start_matches(['*', '&'])
+        .is_empty()
+    {
+        return None;
+    }
+    let name_part = head[let_at + 3..eq].trim().trim_start_matches("mut ").trim();
+    if name_part.is_empty() || !name_part.bytes().all(is_ident_char) {
+        // Destructuring or pattern bindings never bind a bare guard.
+        return None;
+    }
+    // The guard must be the statement's value: after the call, only a
+    // poison adapter and the terminator may follow.
+    let close = matching_close(text, col)?;
+    let tail = text[close..]
+        .trim_start_matches(".lock()")
+        .trim_start_matches(".unwrap()")
+        .trim_start_matches(".into_inner()");
+    let tail = match tail.strip_prefix(".expect(") {
+        Some(rest) => rest.split_once(')').map_or("", |(_, r)| r),
+        None => tail,
+    };
+    if tail.trim() == ";" || tail.trim().is_empty() {
+        Some(name_part.to_string())
+    } else {
+        None
+    }
+}
+
+/// Index just past the `)` closing the call that starts at `col`
+/// (`lock(` or `.lock(`).
+fn matching_close(text: &str, col: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let open = text[col..].find('(').map(|p| col + p)?;
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Records local aliases introduced on a line: `for v in &self.field`,
+/// `let v = &self.field;`, `let v = self.helper(…);`.
+fn record_aliases(
+    text: &str,
+    model: &ClassModel,
+    aliases: &mut Vec<(String, String)>,
+) {
+    let bind = if let Some(for_at) = find_word(text, "for") {
+        let rest = &text[for_at + 3..];
+        rest.split_once(" in ")
+            .map(|(pat, src)| (pat.trim(), src.trim()))
+    } else if let Some(let_at) = find_word(text, "let") {
+        let rest = &text[let_at + 3..];
+        rest.split_once('=').map(|(pat, src)| (pat.trim(), src.trim()))
+    } else {
+        None
+    };
+    let Some((pat, src)) = bind else { return };
+    // A binding that *acquires* is a guard, not an alias.
+    if src.contains("lock(") || src.contains(".lock()") {
+        return;
+    }
+    let name = pat.trim_start_matches("mut ").trim();
+    if name.is_empty() || !name.bytes().all(is_ident_char) {
+        return;
+    }
+    if let Some(class) = resolve_class(src, model, &[]) {
+        aliases.push((name.to_string(), class));
+    }
+}
+
+/// Scans one function body, appending edges and (for hot-path functions)
+/// blocking-call findings.
+#[allow(clippy::too_many_arguments)]
+fn scan_function(
+    file: &str,
+    stripped: &Stripped,
+    start: usize,
+    end: usize,
+    hot: bool,
+    model: &ClassModel,
+    edges: &mut Vec<Edge>,
+    local: &mut Vec<Finding>,
+) {
+    let mut held: Vec<Guard> = Vec::new();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut depth = 0usize;
+    for l in start..=end {
+        let text = stripped.line(l);
+        record_aliases(text, model, &mut aliases);
+
+        // Explicit releases first: `drop(name)` on this line.
+        let mut from = 0;
+        while let Some(p) = text[from..].find("drop(") {
+            let at = from + p;
+            from = at + 5;
+            let arg = paren_arg(text, at + 4).trim();
+            held.retain(|g| g.name.as_deref() != Some(arg));
+        }
+
+        // Blocking calls while any guard is live (hot paths only).
+        if hot && !held.is_empty() {
+            for pat in BLOCKING_PATTERNS {
+                if text.contains(pat) {
+                    let held_names: Vec<&str> =
+                        held.iter().map(|g| g.class.as_str()).collect();
+                    local.push(Finding {
+                        file: file.to_string(),
+                        line: l,
+                        rule: RULE_GUARD_BLOCKING,
+                        message: format!(
+                            "blocking call `{pat}` while `{}` guard is held — \
+                             release the guard first",
+                            held_names.join("`, `")
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Acquisitions, left to right: each sees every guard already live
+        // (including earlier acquisitions on the same line).
+        for acq in acquisitions_on(text, model, &aliases) {
+            if let Some(class) = &acq.class {
+                for g in &held {
+                    edges.push(Edge {
+                        file: file.to_string(),
+                        line: l,
+                        held: g.class.clone(),
+                        acquired: class.clone(),
+                    });
+                }
+                held.push(Guard {
+                    class: class.clone(),
+                    name: acq.bound.clone(),
+                    depth,
+                });
+            }
+        }
+
+        // Advance block depth and retire guards whose scope closed.
+        for c in text.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        held.retain(|g| match &g.name {
+            // Temporaries die with their own statement line.
+            None => false,
+            Some(_) => depth >= g.depth,
+        });
+    }
+}
+
+/// Scans one stripped file: lock classes, helpers, and every function's
+/// acquisition sequence. `hot_regions` are the `// lint: hot-path`
+/// function extents (1-based inclusive line ranges) from the rule pass.
+pub fn scan_file(
+    file: &str,
+    stripped: &Stripped,
+    hot_regions: &[(usize, usize)],
+) -> FileLockModel {
+    let classes = collect_classes(stripped);
+    let mut out = FileLockModel::default();
+    // A file that declares no lock and calls none is free: the quick
+    // rejection keeps the pass near-zero cost on most of the workspace.
+    let calls_lock = stripped
+        .lines
+        .iter()
+        .any(|l| l.contains("lock(") || l.contains(".lock()"));
+    if classes.is_empty() && !calls_lock {
+        return out;
+    }
+    let helpers = collect_helpers(stripped, &classes);
+    let model = ClassModel { classes, helpers };
+
+    // Function extents, outermost only (a nested fn or closure is
+    // scanned as part of its container, which matches how guards flow).
+    let mut fns: Vec<(usize, usize)> = Vec::new();
+    for (idx, text) in stripped.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if fns.last().is_some_and(|&(_, e)| line_no <= e) {
+            continue;
+        }
+        if let Some(col) = crate::rules::find_fn_token(text) {
+            if let Some(end) = crate::rules::item_end(stripped, line_no, col) {
+                fns.push((line_no, end));
+            }
+        }
+    }
+    for &(start, end) in &fns {
+        let hot = hot_regions
+            .iter()
+            .any(|&(hs, he)| hs <= start && start <= he);
+        scan_function(
+            file,
+            stripped,
+            start,
+            end,
+            hot,
+            &model,
+            &mut out.edges,
+            &mut out.local_findings,
+        );
+    }
+    out
+}
+
+/// Resolves the workspace-wide acquisition-order relation: findings for
+/// every edge on a cycle, with waivers applied and stale waivers flagged.
+///
+/// `waivers` entries are matched to findings by `(file, target_line)`;
+/// each suppression marks the waiver used. Unused waivers come back as
+/// `directive` findings through the caller (which knows the directive
+/// line), so this function only marks usage.
+pub fn finish_order(edges: &[Edge], waivers: &mut [OrderWaiver]) -> Vec<Finding> {
+    // Distinct classes, in first-seen order for stable output.
+    let mut classes: Vec<&str> = Vec::new();
+    for e in edges {
+        for c in [e.held.as_str(), e.acquired.as_str()] {
+            if !classes.contains(&c) {
+                classes.push(c);
+            }
+        }
+    }
+    let n = classes.len();
+    let index = |c: &str| classes.iter().position(|x| *x == c);
+
+    // Transitive reachability (path length >= 1) over the edge relation.
+    let mut reach = vec![false; n * n];
+    for e in edges {
+        if let (Some(a), Some(b)) = (index(&e.held), index(&e.acquired)) {
+            reach[a * n + b] = true;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i * n + k] {
+                for j in 0..n {
+                    if reach[k * n + j] {
+                        reach[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for e in edges {
+        let (Some(a), Some(b)) = (index(&e.held), index(&e.acquired)) else {
+            continue;
+        };
+        // The edge sits on a cycle iff `acquired` reaches back to `held`
+        // (a self-edge reaches trivially through itself).
+        let cyclic = if a == b { true } else { reach[b * n + a] };
+        if !cyclic {
+            continue;
+        }
+        if let Some(w) = waivers
+            .iter_mut()
+            .find(|w| !w.used && w.file == e.file && w.target_line == e.line)
+        {
+            w.used = true;
+            continue;
+        }
+        // Cite a witness for the reverse direction when one exists.
+        let witness = edges
+            .iter()
+            .find(|o| o.held == e.acquired && o.acquired == e.held)
+            .map(|o| format!(" (reverse order at {}:{})", o.file, o.line))
+            .unwrap_or_default();
+        let message = if a == b {
+            format!(
+                "second `{}` guard acquired while one is already held — \
+                 two shards locked out of order deadlock",
+                e.acquired
+            )
+        } else {
+            format!(
+                "`{}` acquired while `{}` is held, but the workspace also \
+                 acquires `{}` while `{}` is held{witness} — \
+                 acquisition-order cycle",
+                e.acquired, e.held, e.held, e.acquired
+            )
+        };
+        findings.push(Finding {
+            file: e.file.clone(),
+            line: e.line,
+            rule: RULE_LOCK_ORDER,
+            message,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn model(src: &str) -> FileLockModel {
+        scan_file("t.rs", &lexer::strip(src), &[])
+    }
+
+    #[test]
+    fn classes_cover_fields_statics_and_locals() {
+        let s = lexer::strip(
+            "struct E { ledger: Mutex<L>, shards: Vec<Mutex<B>> }\n\
+             static TABLE: Mutex<u32> = Mutex::new(0);\n\
+             fn f() { let local = Mutex::new(1); }\n",
+        );
+        let c = collect_classes(&s);
+        assert_eq!(c, vec!["ledger", "shards", "TABLE", "local"]);
+    }
+
+    #[test]
+    fn helper_returning_mutex_resolves_to_its_field() {
+        let s = lexer::strip(
+            "struct E { shards: Vec<Mutex<B>> }\n\
+             impl E {\n\
+             fn shard_of(&self, id: u64) -> &Mutex<B> {\n\
+                 &self.shards[(id % self.shards.len() as u64) as usize]\n\
+             }\n\
+             }\n",
+        );
+        let classes = collect_classes(&s);
+        let helpers = collect_helpers(&s, &classes);
+        assert_eq!(helpers, vec![("shard_of".to_string(), "shards".to_string())]);
+    }
+
+    #[test]
+    fn nested_acquisition_produces_an_edge() {
+        let m = model(
+            "struct E { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl E {\n\
+             fn f(&self) {\n\
+                 let ga = lock(&self.a);\n\
+                 let gb = lock(&self.b);\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(m.edges.len(), 1, "{:?}", m.edges);
+        assert_eq!(m.edges[0].held, "a");
+        assert_eq!(m.edges[0].acquired, "b");
+        assert_eq!(m.edges[0].line, 5);
+    }
+
+    #[test]
+    fn block_scoped_guard_is_released_at_the_brace() {
+        let m = model(
+            "struct E { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl E {\n\
+             fn f(&self) {\n\
+                 {\n\
+                     let ga = lock(&self.a);\n\
+                 }\n\
+                 let gb = lock(&self.b);\n\
+             }\n\
+             }\n",
+        );
+        assert!(m.edges.is_empty(), "{:?}", m.edges);
+    }
+
+    #[test]
+    fn temporary_guard_dies_with_its_statement() {
+        let m = model(
+            "struct E { a: Mutex<S>, b: Mutex<u32> }\n\
+             impl E {\n\
+             fn f(&self) {\n\
+                 let before = lock(&self.a).count;\n\
+                 let gb = lock(&self.b);\n\
+             }\n\
+             }\n",
+        );
+        assert!(m.edges.is_empty(), "{:?}", m.edges);
+    }
+
+    #[test]
+    fn drop_releases_a_named_guard() {
+        let m = model(
+            "struct E { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl E {\n\
+             fn f(&self) {\n\
+                 let ga = lock(&self.a);\n\
+                 drop(ga);\n\
+                 let gb = lock(&self.b);\n\
+             }\n\
+             }\n",
+        );
+        assert!(m.edges.is_empty(), "{:?}", m.edges);
+    }
+
+    #[test]
+    fn method_lock_and_alias_resolution() {
+        let m = model(
+            "struct E { shards: Vec<Mutex<B>>, ledger: Mutex<L> }\n\
+             impl E {\n\
+             fn f(&self) {\n\
+                 for shard in &self.shards {\n\
+                     let g = shard.lock().unwrap();\n\
+                     let l = self.ledger.lock().unwrap();\n\
+                 }\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(m.edges.len(), 1, "{:?}", m.edges);
+        assert_eq!(m.edges[0].held, "shards");
+        assert_eq!(m.edges[0].acquired, "ledger");
+    }
+
+    #[test]
+    fn cycle_detection_flags_both_directions() {
+        let edges = vec![
+            Edge { file: "x.rs".into(), line: 5, held: "a".into(), acquired: "b".into() },
+            Edge { file: "y.rs".into(), line: 9, held: "b".into(), acquired: "a".into() },
+        ];
+        let f = finish_order(&edges, &mut []);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RULE_LOCK_ORDER));
+        assert!(f[0].message.contains("reverse order at y.rs:9"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn transitive_cycle_is_found() {
+        let edges = vec![
+            Edge { file: "x.rs".into(), line: 1, held: "a".into(), acquired: "b".into() },
+            Edge { file: "x.rs".into(), line: 2, held: "b".into(), acquired: "c".into() },
+            Edge { file: "x.rs".into(), line: 3, held: "c".into(), acquired: "a".into() },
+        ];
+        let f = finish_order(&edges, &mut []);
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn self_edge_is_a_finding() {
+        let m = model(
+            "struct E { shards: Vec<Mutex<B>> }\n\
+             impl E {\n\
+             fn f(&self, x: &Mutex<B>, y: &Mutex<B>) {\n\
+                 let a = lock(&self.shards[0]);\n\
+                 let b = lock(&self.shards[1]);\n\
+             }\n\
+             }\n",
+        );
+        let f = finish_order(&m.edges, &mut []);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("second `shards` guard"));
+    }
+
+    #[test]
+    fn ordered_hierarchy_is_clean() {
+        let edges = vec![
+            Edge { file: "x.rs".into(), line: 1, held: "a".into(), acquired: "b".into() },
+            Edge { file: "x.rs".into(), line: 2, held: "b".into(), acquired: "c".into() },
+        ];
+        assert!(finish_order(&edges, &mut []).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_an_edge_and_is_marked_used() {
+        let edges = vec![
+            Edge { file: "x.rs".into(), line: 5, held: "a".into(), acquired: "b".into() },
+            Edge { file: "y.rs".into(), line: 9, held: "b".into(), acquired: "a".into() },
+        ];
+        let mut w = vec![OrderWaiver {
+            file: "x.rs".into(),
+            target_line: 5,
+            directive_line: 4,
+            reason: "startup only, single-threaded".into(),
+            used: false,
+        }];
+        let f = finish_order(&edges, &mut w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, "y.rs");
+        assert!(w[0].used);
+    }
+
+    #[test]
+    fn blocking_call_under_guard_fires_in_hot_fn_only() {
+        let src = "struct E { a: Mutex<u32> }\n\
+             impl E {\n\
+             fn hot(&self) {\n\
+                 let g = lock(&self.a);\n\
+                 std::thread::scope(|s| {});\n\
+             }\n\
+             }\n";
+        let stripped = lexer::strip(src);
+        let hot = scan_file("t.rs", &stripped, &[(3, 6)]);
+        assert_eq!(hot.local_findings.len(), 1, "{:?}", hot.local_findings);
+        assert_eq!(hot.local_findings[0].rule, RULE_GUARD_BLOCKING);
+        let cold = scan_file("t.rs", &stripped, &[]);
+        assert!(cold.local_findings.is_empty());
+    }
+
+}

@@ -10,6 +10,7 @@
 //! accumulate).
 
 use crate::lexer::{self, DirectiveKind, Stripped};
+use crate::locks;
 
 /// Rule identifier: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`.
 pub const RULE_PANIC: &str = "panic";
@@ -27,17 +28,33 @@ pub const RULE_DIRECTIVE: &str = "directive";
 pub const RULE_LAYERING: &str = "layering";
 /// Rule identifier: a library root missing `#![forbid(unsafe_code)]`.
 pub const RULE_HEADER: &str = "unsafe-header";
+/// Rule identifier: a lock-acquisition-order cycle across the workspace.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule identifier: a guard held across a blocking call in a hot-path fn.
+pub const RULE_GUARD_BLOCKING: &str = "guard-across-blocking";
+/// Rule identifier: `.lock().unwrap()`/`.lock().expect(…)` in shipped code.
+pub const RULE_BARE_LOCK: &str = "bare-lock";
 
 /// Every waivable rule identifier (directives naming anything else are
 /// rejected as malformed). Layering and header findings are structural —
 /// they are fixed in the manifest or the crate root, never waived.
-pub const WAIVABLE_RULES: &[&str] = &[RULE_PANIC, RULE_HOT_ALLOC, RULE_MAP, RULE_CLOCK, RULE_RNG];
+pub const WAIVABLE_RULES: &[&str] = &[
+    RULE_PANIC,
+    RULE_HOT_ALLOC,
+    RULE_MAP,
+    RULE_CLOCK,
+    RULE_RNG,
+    RULE_LOCK_ORDER,
+    RULE_GUARD_BLOCKING,
+    RULE_BARE_LOCK,
+];
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
 const ALLOC_PATTERNS: &[&str] = &["Vec::new", "vec![", ".to_vec()", ".collect()", "Box::new", ".clone()"];
 const MAP_PATTERNS: &[&str] = &["HashMap", "HashSet"];
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime"];
 const RNG_PATTERNS: &[&str] = &["rand::", "use rand;", "extern crate rand", "thread_rng", "from_entropy"];
+const LOCK_PATTERNS: &[&str] = &[".lock().unwrap()", ".lock().expect("];
 
 /// Which rule families apply to the file being scanned. Hot-path
 /// allocation checks are always on — marking a function opts it in
@@ -52,6 +69,9 @@ pub struct RuleSet {
     pub wall_clock: bool,
     /// Enforce the ambient-randomness ban.
     pub rng: bool,
+    /// Enforce the concurrency-discipline rules (`lock-order`,
+    /// `guard-across-blocking`, `bare-lock`).
+    pub locks: bool,
 }
 
 /// One lint violation.
@@ -103,12 +123,75 @@ struct Waiver {
     directive_line: usize,
 }
 
+/// A registered waiver with its justification — the raw material of the
+/// `--waivers` audit and the report's waiver inventory.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// File carrying the directive.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// Rule the waiver suppresses.
+    pub rule: String,
+    /// The mandatory justification text.
+    pub reason: String,
+}
+
+/// Everything one file contributes to the workspace-wide analysis:
+/// local findings plus the cross-file inputs (ordering edges, deferred
+/// `lock-order` waivers, waiver inventory).
+#[derive(Debug, Default)]
+pub struct ScanOutput {
+    /// Violations local to this file (everything except `lock-order`,
+    /// which only exists once all files' edges are combined).
+    pub findings: Vec<Finding>,
+    /// Per-file statistics.
+    pub stats: ScanStats,
+    /// Lock-acquisition ordering edges observed in shipped code.
+    pub edges: Vec<locks::Edge>,
+    /// `lock-order` waivers, deferred to the global resolution.
+    pub order_waivers: Vec<locks::OrderWaiver>,
+    /// Every valid waiver registered in this file, with its reason.
+    pub waivers: Vec<WaiverRecord>,
+}
+
 /// Scans one stripped source file under `rules`, returning findings and
 /// stats. `file` is the label used in findings.
+///
+/// This is the single-file view: `lock-order` is resolved against only
+/// this file's edges (fixtures and unit tests use it). The workspace
+/// linter calls [`scan_source_model`] instead and resolves ordering
+/// globally.
 pub fn scan_source(file: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, ScanStats) {
+    let mut out = scan_source_model(file, source, rules);
+    let order = locks::finish_order(&out.edges, &mut out.order_waivers);
+    out.findings.extend(order);
+    for w in &out.order_waivers {
+        if w.used {
+            out.stats.waivers_used += 1;
+        } else {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: w.directive_line,
+                rule: RULE_DIRECTIVE,
+                message: "waiver for `lock-order` suppresses nothing — remove it".to_string(),
+            });
+        }
+    }
+    out.findings
+        .sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    (out.findings, out.stats)
+}
+
+/// Scans one source file, returning the full per-file model for global
+/// aggregation.
+pub fn scan_source_model(file: &str, source: &str, rules: RuleSet) -> ScanOutput {
     let stripped = lexer::strip(source);
     let mut findings = Vec::new();
     let mut stats = ScanStats::default();
+    let mut edges: Vec<locks::Edge> = Vec::new();
+    let mut order_waivers: Vec<locks::OrderWaiver> = Vec::new();
+    let mut waiver_records: Vec<WaiverRecord> = Vec::new();
 
     let test_regions = find_test_regions(&stripped);
     let in_test = |line: usize| test_regions.iter().any(|r| r.contains(line));
@@ -150,6 +233,27 @@ pub fn scan_source(file: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, S
                     continue;
                 }
                 let target = waiver_target(&stripped, d.line);
+                waiver_records.push(WaiverRecord {
+                    file: file.to_string(),
+                    line: d.line,
+                    rule: rule.clone(),
+                    reason: reason.clone(),
+                });
+                // `lock-order` findings only exist once every file's
+                // edges are combined — defer those waivers to the global
+                // resolution instead of the per-line pattern pass.
+                if rule == RULE_LOCK_ORDER {
+                    if !in_test(d.line) {
+                        order_waivers.push(locks::OrderWaiver {
+                            file: file.to_string(),
+                            target_line: target,
+                            directive_line: d.line,
+                            reason: reason.clone(),
+                            used: false,
+                        });
+                    }
+                    continue;
+                }
                 waivers.push(Waiver {
                     target_line: target,
                     rule: rule.clone(),
@@ -224,6 +328,34 @@ pub fn scan_source(file: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, S
         if rules.rng {
             check(line_no, text, RULE_RNG, RNG_PATTERNS, &mut findings, &mut waivers, &mut stats.waivers_used);
         }
+        if rules.locks {
+            check(line_no, text, RULE_BARE_LOCK, LOCK_PATTERNS, &mut findings, &mut waivers, &mut stats.waivers_used);
+        }
+    }
+
+    // Concurrency model pass: lock-acquisition edges for the global
+    // `lock-order` resolution, plus `guard-across-blocking` findings in
+    // hot-path functions. Test regions are exempt like everywhere else.
+    if rules.locks {
+        let hot: Vec<(usize, usize)> = hot_regions.iter().map(|r| (r.start, r.end)).collect();
+        let model = locks::scan_file(file, &stripped, &hot);
+        for f in model.local_findings {
+            if in_test(f.line) {
+                continue;
+            }
+            if let Some(w) = waivers
+                .iter_mut()
+                .find(|w| w.target_line == f.line && w.rule == f.rule)
+            {
+                if !w.used {
+                    w.used = true;
+                    stats.waivers_used += 1;
+                }
+                continue;
+            }
+            findings.push(f);
+        }
+        edges.extend(model.edges.into_iter().filter(|e| !in_test(e.line)));
     }
 
     // A waiver that suppressed nothing is stale (or the rule family does
@@ -239,7 +371,13 @@ pub fn scan_source(file: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, S
         }
     }
 
-    (findings, stats)
+    ScanOutput {
+        findings,
+        stats,
+        edges,
+        order_waivers,
+        waivers: waiver_records,
+    }
 }
 
 /// Checks a library root for the `#![forbid(unsafe_code)]` header.
@@ -305,7 +443,7 @@ fn hot_region_after(stripped: &Stripped, marker_line: usize) -> Option<Region> {
 }
 
 /// Column of a real `fn` token on the line (not part of an identifier).
-fn find_fn_token(text: &str) -> Option<usize> {
+pub(crate) fn find_fn_token(text: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut from = 0;
     while let Some(p) = text[from..].find("fn") {
@@ -325,7 +463,7 @@ fn find_fn_token(text: &str) -> Option<usize> {
 /// Scans forward from (`line`, `col`) for the item's extent: brace-matched
 /// from its first `{`, or ended by a `;` seen before any `{`. Returns the
 /// 1-based last line.
-fn item_end(stripped: &Stripped, line: usize, col: usize) -> Option<usize> {
+pub(crate) fn item_end(stripped: &Stripped, line: usize, col: usize) -> Option<usize> {
     let mut depth = 0usize;
     let mut seen_open = false;
     let mut l = line;
@@ -357,7 +495,8 @@ fn item_end(stripped: &Stripped, line: usize, col: usize) -> Option<usize> {
 mod tests {
     use super::*;
 
-    const ALL: RuleSet = RuleSet { panic: true, maps: true, wall_clock: true, rng: true };
+    const ALL: RuleSet =
+        RuleSet { panic: true, maps: true, wall_clock: true, rng: true, locks: true };
 
     #[test]
     fn panic_fires_outside_tests_only() {
@@ -415,6 +554,104 @@ mod tests {
     fn header_check_accepts_and_rejects() {
         assert!(check_lib_header("l.rs", "//! Docs.\n#![forbid(unsafe_code)]\n").is_none());
         assert!(check_lib_header("l.rs", "//! Docs.\npub fn f() {}\n").is_some());
+    }
+
+    #[test]
+    fn bare_lock_fires_and_is_waivable() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); }\n";
+        let only_locks = RuleSet { locks: true, ..RuleSet::default() };
+        let (f, _) = scan_source("a.rs", src, only_locks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_BARE_LOCK);
+
+        let waived = "fn f(m: &std::sync::Mutex<u32>) { let g = m.lock().unwrap(); } \
+                      // lint: allow(bare-lock) poison handled by caller\n";
+        let (f, s) = scan_source("a.rs", waived, only_locks);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s.waivers_used, 1);
+    }
+
+    #[test]
+    fn lock_order_cycle_within_a_file() {
+        let src = "struct E { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+                   impl E {\n\
+                   fn fwd(&self) {\n\
+                       let ga = lock(&self.a);\n\
+                       let gb = lock(&self.b);\n\
+                   }\n\
+                   fn rev(&self) {\n\
+                       let gb = lock(&self.b);\n\
+                       let ga = lock(&self.a);\n\
+                   }\n\
+                   }\n";
+        let only_locks = RuleSet { locks: true, ..RuleSet::default() };
+        let (f, _) = scan_source("a.rs", src, only_locks);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RULE_LOCK_ORDER));
+    }
+
+    #[test]
+    fn lock_order_waiver_suppresses_one_direction() {
+        let src = "struct E { a: std::sync::Mutex<u32>, b: std::sync::Mutex<u32> }\n\
+                   impl E {\n\
+                   fn fwd(&self) {\n\
+                       let ga = lock(&self.a);\n\
+                       let gb = lock(&self.b);\n\
+                   }\n\
+                   fn rev(&self) {\n\
+                       let gb = lock(&self.b);\n\
+                       // lint: allow(lock-order) startup path, single-threaded\n\
+                       let ga = lock(&self.a);\n\
+                   }\n\
+                   }\n";
+        let only_locks = RuleSet { locks: true, ..RuleSet::default() };
+        let (f, s) = scan_source("a.rs", src, only_locks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_LOCK_ORDER);
+        assert_eq!(f[0].line, 5);
+        assert_eq!(s.waivers_used, 1);
+    }
+
+    #[test]
+    fn stale_lock_order_waiver_is_flagged() {
+        let src = "struct E { a: std::sync::Mutex<u32> }\n\
+                   impl E {\n\
+                   fn f(&self) {\n\
+                       // lint: allow(lock-order) no cycle here any more\n\
+                       let ga = lock(&self.a);\n\
+                   }\n\
+                   }\n";
+        let only_locks = RuleSet { locks: true, ..RuleSet::default() };
+        let (f, _) = scan_source("a.rs", src, only_locks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_DIRECTIVE);
+        assert!(f[0].message.contains("lock-order"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn guard_across_blocking_fires_in_hot_fn_and_is_waivable() {
+        let src = "struct E { a: std::sync::Mutex<u32> }\n\
+                   impl E {\n\
+                   // lint: hot-path\n\
+                   fn hot(&self) {\n\
+                       let g = lock(&self.a);\n\
+                       std::thread::sleep(d);\n\
+                   }\n\
+                   }\n";
+        let only_locks = RuleSet { locks: true, ..RuleSet::default() };
+        let (f, _) = scan_source("a.rs", src, only_locks);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_GUARD_BLOCKING);
+        assert_eq!(f[0].line, 6);
+
+        let waived = src.replace(
+            "std::thread::sleep(d);",
+            "// lint: allow(guard-across-blocking) bounded 1ms backoff\n\
+             std::thread::sleep(d);",
+        );
+        let (f, s) = scan_source("a.rs", &waived, only_locks);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s.waivers_used, 1);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Bare lock-and-panic acquisitions: a poisoned mutex (some other
+//! thread panicked) turns into a panic here too. Both spellings must be
+//! flagged.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    value: Mutex<u64>,
+}
+
+impl Counter {
+    pub fn bump(&self) -> u64 {
+        let mut value = self.value.lock().unwrap();
+        *value += 1;
+        *value
+    }
+
+    pub fn read(&self) -> u64 {
+        *self.value.lock().expect("counter lock poisoned")
+    }
+}

@@ -1,0 +1,24 @@
+//! The sanctioned acquisition idiom: a poison-recovering helper that
+//! matches on the lock result instead of unwrapping it, and call sites
+//! that go through the helper.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub struct Counter {
+    value: Mutex<u64>,
+}
+
+impl Counter {
+    pub fn bump(&self) -> u64 {
+        let mut value = lock(&self.value);
+        *value += 1;
+        *value
+    }
+}

@@ -1,0 +1,34 @@
+//! A hot-path function holding its guard across blocking calls: every
+//! other thread contending for `inbox` stalls behind the channel and
+//! the spawned scope. Both blocking sites must be flagged.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub struct Engine {
+    inbox: Mutex<u64>,
+}
+
+impl Engine {
+    // lint: hot-path
+    pub fn ingest(&self, tx: &std::sync::mpsc::Sender<u64>, chunk: u64) {
+        let mut inbox = lock(&self.inbox);
+        *inbox += chunk;
+        let _ = tx.send(*inbox);
+    }
+
+    // lint: hot-path
+    pub fn rebalance(&self) {
+        let mut inbox = lock(&self.inbox);
+        std::thread::scope(|s| {
+            s.spawn(|| {});
+        });
+        *inbox = 0;
+    }
+}

@@ -1,0 +1,37 @@
+//! Hot-path functions that interact with locks correctly: the guard is
+//! scoped to a block (or explicitly dropped) before any blocking call.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub struct Engine {
+    inbox: Mutex<u64>,
+}
+
+impl Engine {
+    // lint: hot-path
+    pub fn ingest(&self, tx: &std::sync::mpsc::Sender<u64>, chunk: u64) {
+        let pending = {
+            let mut inbox = lock(&self.inbox);
+            *inbox += chunk;
+            *inbox
+        };
+        // Guard released at the block's end: notifying may block freely.
+        let _ = tx.send(pending);
+    }
+
+    // lint: hot-path
+    pub fn flush(&self, tx: &std::sync::mpsc::Sender<u64>) {
+        let mut inbox = lock(&self.inbox);
+        let pending = *inbox;
+        *inbox = 0;
+        drop(inbox);
+        let _ = tx.send(pending);
+    }
+}

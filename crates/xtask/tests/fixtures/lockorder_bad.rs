@@ -1,0 +1,34 @@
+//! The classic two-lock deadlock: `record` takes `table` then `ledger`,
+//! `settle` takes them in the opposite order. Two threads running one
+//! each can block forever — both acquisition sites must be flagged.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub struct Engine {
+    table: Mutex<BTreeMap<u64, u32>>,
+    ledger: Mutex<u64>,
+}
+
+impl Engine {
+    pub fn record(&self, id: u64) {
+        let mut table = lock(&self.table);
+        table.insert(id, 0);
+        let mut ledger = lock(&self.ledger);
+        *ledger += 1;
+    }
+
+    pub fn settle(&self, id: u64) {
+        let mut ledger = lock(&self.ledger);
+        *ledger += 1;
+        let mut table = lock(&self.table);
+        table.remove(&id);
+    }
+}

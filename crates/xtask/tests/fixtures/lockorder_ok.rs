@@ -1,0 +1,38 @@
+//! Two lock classes acquired in a consistent global order everywhere:
+//! `table` before `ledger`. A single direction can never cycle.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub struct Engine {
+    table: Mutex<BTreeMap<u64, u32>>,
+    ledger: Mutex<u64>,
+}
+
+impl Engine {
+    pub fn record(&self, id: u64) {
+        let mut table = lock(&self.table);
+        table.insert(id, 0);
+        let mut ledger = lock(&self.ledger);
+        *ledger += 1;
+    }
+
+    pub fn settle(&self, id: u64) {
+        let mut table = lock(&self.table);
+        table.remove(&id);
+        let mut ledger = lock(&self.ledger);
+        *ledger += 1;
+    }
+
+    pub fn audit(&self) -> u64 {
+        // Ledger alone: a single guard never contributes to a cycle.
+        *lock(&self.ledger)
+    }
+}

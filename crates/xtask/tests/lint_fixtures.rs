@@ -15,6 +15,7 @@ const ALL: RuleSet = RuleSet {
     maps: true,
     wall_clock: true,
     rng: true,
+    locks: true,
 };
 
 fn fixture(name: &str) -> String {
@@ -166,6 +167,61 @@ fn panicking_backend_lookup_and_hashmap_registry_are_rejected() {
     let hit = rules_hit(&f);
     assert!(hit.contains(&rules::RULE_PANIC), "{f:?}");
     assert!(hit.contains(&rules::RULE_MAP), "{f:?}");
+}
+
+#[test]
+fn lockorder_ok_consistent_global_order_is_clean() {
+    let (f, _) = scan("lockorder_ok.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lockorder_bad_cycle_flags_both_acquisition_sites() {
+    let (f, _) = scan("lockorder_bad.rs");
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f.iter().all(|x| x.rule == rules::RULE_LOCK_ORDER), "{f:?}");
+    // One finding per direction of the cycle, each citing the reverse.
+    assert!(
+        f.iter().any(|x| x.message.contains("`ledger` acquired while `table` is held")),
+        "{f:?}"
+    );
+    assert!(
+        f.iter().any(|x| x.message.contains("`table` acquired while `ledger` is held")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn guard_across_block_ok_scoped_and_dropped_guards_are_clean() {
+    let (f, s) = scan("guard_across_block_ok.rs");
+    assert!(f.is_empty(), "{f:?}");
+    assert_eq!(s.hot_functions, 2);
+}
+
+#[test]
+fn guard_across_block_bad_flags_blocking_calls_under_guard() {
+    let (f, s) = scan("guard_across_block_bad.rs");
+    assert_eq!(s.hot_functions, 2);
+    assert!(f.len() >= 2, "{f:?}");
+    assert!(f.iter().all(|x| x.rule == rules::RULE_GUARD_BLOCKING), "{f:?}");
+    // Both hot functions are hit: the channel send and the scoped spawn.
+    assert!(f.iter().any(|x| x.message.contains(".send(")), "{f:?}");
+    assert!(f.iter().any(|x| x.message.contains("thread::scope")), "{f:?}");
+}
+
+#[test]
+fn barelock_ok_poison_recovering_helper_is_clean() {
+    let (f, _) = scan("barelock_ok.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn barelock_bad_flags_unwrap_and_expect_spellings() {
+    let (f, _) = scan("barelock_bad.rs");
+    let bare: Vec<_> = f.iter().filter(|x| x.rule == rules::RULE_BARE_LOCK).collect();
+    assert_eq!(bare.len(), 2, "{f:?}");
+    // The same lines also violate panic-freedom — both rules must see them.
+    assert!(rules_hit(&f).contains(&rules::RULE_PANIC), "{f:?}");
 }
 
 #[test]

@@ -7,10 +7,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> xtask lint: workspace invariants (panic-freedom, allocation"
-echo "    discipline, determinism, layering, header hygiene)"
+echo "    discipline, determinism, layering, header hygiene, lock order,"
+echo "    guard-across-blocking, bare-lock)"
 # Parses manifests and scans sources directly, so it runs before anything
 # else builds. See DESIGN.md "Static analysis & invariants".
 cargo run -p xtask -- lint
+
+echo "==> xtask lint --waivers: every waiver carries a reason and suppresses"
+echo "    a real finding"
+cargo run -p xtask -- lint --waivers
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
@@ -26,6 +31,13 @@ echo "==> robustness: fault injection, quality gating, monotonicity"
 cargo test -q --test failure_injection --test quality_monotonicity
 cargo test -q -p earsonar quality::
 
+echo "==> schedule exploration: verdict bit-identity over 100+ interleavings"
+# Replays every enumerable delivery order for small session counts (90
+# schedules for 3 sessions x 2 chunks) plus seeded worker/drain-cadence
+# variations, asserting verdicts match the sequential baseline bit for
+# bit and that backpressure never drops an accepted chunk.
+cargo test -q -p earsonar-engine --test schedule_exploration
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -38,16 +50,19 @@ cargo run --release -p earsonar-bench --bin perf_report -- --smoke
 echo "==> engine smoke run: 64 interleaved sessions, fixed seed"
 # Proves engine verdicts equal sequential screening under a seeded
 # interleaving at 1/2/4 workers, then splices the engine section into
-# BENCH_pr8.json. Throughput numbers are informational only.
+# BENCH_pr9.json. Throughput numbers are informational only.
 cargo run --release -p earsonar-bench --bin engine-bench -- --smoke
 
 echo "==> A/B backend smoke run: candidates vs mfcc-kmeans baseline"
 # Scores the candidate feature/classifier backends against the reference
 # on the same deterministic cohort and folds, then splices the backends
-# section (per-class precision deltas) into BENCH_pr8.json.
+# section (per-class precision deltas) into BENCH_pr9.json.
 cargo run --release -p earsonar-bench --bin ab-bench -- --smoke
 
-echo "==> bench-schema: BENCH_pr8.json conforms to schema_version 3"
+echo "==> lint section: splice rule/waiver counts into the report"
+cargo run -p xtask -- lint --report BENCH_pr9.json
+
+echo "==> bench-schema: BENCH_pr9.json conforms to schema_version 4"
 cargo run -p xtask -- bench-schema
 
 echo "All checks passed."
